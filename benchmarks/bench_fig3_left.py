@@ -1,0 +1,40 @@
+"""E1 — Figure 3 (left): testbed cost breakdown by message type.
+
+Paper series: scoop/unique, scoop/gaussian, local/gaussian, base/gaussian.
+Expected shape: scoop/unique is cheapest (each node owns its own value);
+scoop/gaussian beats both LOCAL and BASE despite its summary and mapping
+overheads.
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import breakdown_table
+from repro.experiments.scenarios import fig3_left
+
+
+def test_fig3_left(benchmark):
+    def run():
+        return [run_spec(spec) for spec in fig3_left()]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig3_left",
+        breakdown_table(
+            results, "Figure 3 (left): cost breakdown per storage method"
+        ),
+    )
+    by_label = {f"{r.policy}/{r.workload}": r for r in results}
+    scoop_unique = by_label["scoop/unique"].total_messages
+    scoop_gauss = by_label["scoop/gaussian"].total_messages
+    local_gauss = by_label["local/gaussian"].total_messages
+    base_gauss = by_label["base/gaussian"].total_messages
+
+    # Paper shape: Scoop outperforms LOCAL and BASE on GAUSSIAN; UNIQUE is
+    # Scoop's best case.
+    assert scoop_gauss < local_gauss
+    assert scoop_gauss < base_gauss
+    assert scoop_unique <= scoop_gauss * 1.1
+    # BASE has only data messages; LOCAL only query/reply messages.
+    assert by_label["base/gaussian"].breakdown["summary"] == 0
+    assert by_label["base/gaussian"].breakdown["query/reply"] == 0
+    assert by_label["local/gaussian"].breakdown["data"] == 0

@@ -1,0 +1,38 @@
+"""E3 — Figure 3 (right): SCOOP over the five data sources.
+
+Expected shape (paper): UNIQUE performs best (perfect locality); EQUAL is
+cheap (suppressed mappings, full batching); RANDOM is the worst case, where
+Scoop "performs no better than BASE or HASH" because there is no
+predictability to exploit; REAL and GAUSSIAN sit in between.
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import breakdown_table
+from repro.experiments.scenarios import fig3_right
+
+
+def test_fig3_right(benchmark):
+    def run():
+        return [run_spec(spec) for spec in fig3_right()]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig3_right",
+        breakdown_table(results, "Figure 3 (right): Scoop over different data sources"),
+    )
+    totals = {r.workload: r.total_messages for r in results}
+
+    # RANDOM is Scoop's adversarial case: costlier than every structured
+    # source.
+    assert totals["random"] > totals["unique"]
+    assert totals["random"] > totals["equal"]
+    assert totals["random"] > totals["gaussian"]
+    # UNIQUE exploits locality: among the cheapest sources.
+    assert totals["unique"] <= min(totals["gaussian"], totals["random"])
+    # EQUAL suppresses mapping dissemination: very few mapping messages.
+    by_workload = {r.workload: r for r in results}
+    assert (
+        by_workload["equal"].breakdown["mapping"]
+        <= by_workload["random"].breakdown["mapping"]
+    )

@@ -1,0 +1,47 @@
+"""E4 — Figure 4: total cost as a function of the percentage of nodes queried.
+
+Node-list queries name a growing fraction of the sensors (the paper's
+"% Nodes Queried" axis). Expected shape: LOCAL is flat (it always floods
+everyone and everyone replies); BASE is flat (queries are free); SCOOP
+starts well below both and rises with the fraction, crossing BASE at high
+percentages ("around 60%, [Scoop] becomes slightly more expensive than
+BASE").
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import series_table
+from repro.experiments.scenarios import fig4_selectivity
+
+FRACTIONS = (0.05, 0.25, 0.60, 1.00)
+
+
+def test_fig4_selectivity(benchmark):
+    def run():
+        table = {}
+        for frac, specs in fig4_selectivity(fractions=FRACTIONS):
+            table[frac] = {s.policy: run_spec(s) for s in specs}
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = {
+        policy: [table[f][policy].total_messages for f in FRACTIONS]
+        for policy in ("scoop", "local", "base")
+    }
+    emit(
+        "fig4_selectivity",
+        series_table(
+            "% nodes queried",
+            series,
+            [f"{f:.0%}" for f in FRACTIONS],
+            "Figure 4: cost vs percentage of nodes queried (REAL)",
+        ),
+    )
+
+    # SCOOP beats LOCAL and BASE when few nodes are queried.
+    assert series["scoop"][0] < series["local"][0]
+    assert series["scoop"][0] < series["base"][0]
+    # LOCAL is roughly flat: its flood ignores the bitmap width.
+    assert max(series["local"]) < 2.0 * min(series["local"])
+    # SCOOP's cost grows with the fraction of nodes queried.
+    assert series["scoop"][-1] > series["scoop"][0]

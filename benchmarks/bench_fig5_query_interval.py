@@ -1,0 +1,43 @@
+"""E5 — Figure 5: total cost as a function of the interval between queries.
+
+Expected shape (paper): "Since the query cost is very small in SCOOP and
+zero in BASE, only LOCAL is substantially affected by this; as the query
+rate drops, it becomes a more attractive option relative to the others."
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import series_table
+from repro.experiments.scenarios import fig5_query_interval
+
+INTERVALS = (5.0, 15.0, 45.0)
+
+
+def test_fig5_query_interval(benchmark):
+    def run():
+        table = {}
+        for interval, specs in fig5_query_interval(intervals=INTERVALS):
+            table[interval] = {s.policy: run_spec(s) for s in specs}
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = {
+        policy: [table[i][policy].total_messages for i in INTERVALS]
+        for policy in ("scoop", "local", "base")
+    }
+    emit(
+        "fig5_query_interval",
+        series_table(
+            "query interval (s)",
+            series,
+            [f"{i:.0f}" for i in INTERVALS],
+            "Figure 5: cost vs query interval (REAL)",
+        ),
+    )
+
+    # LOCAL's cost falls sharply as queries become rarer.
+    assert series["local"][0] > 2.0 * series["local"][-1]
+    # BASE is (nearly) unaffected by the query rate.
+    assert max(series["base"]) < 1.3 * min(series["base"])
+    # At the default/faster query rates SCOOP beats LOCAL.
+    assert series["scoop"][0] < series["local"][0]

@@ -1,0 +1,52 @@
+"""E7 — Section 6 text: load on the root node and battery-lifetime ratios.
+
+Paper: the BASE root "receives about 24,000 data messages"; the LOCAL root
+is lightest; SCOOP sits between — and overall, "if a node running LOCAL can
+last for one month ... an average SCOOP node would last for about three
+months, although the battery on the root in SCOOP would have to be replaced
+every two weeks."
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import root_skew
+
+
+def test_root_skew(benchmark):
+    def run():
+        return {spec.policy: run_spec(spec) for spec in root_skew()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for policy in ("scoop", "base", "local"):
+        r = results[policy]
+        rows.append(
+            [
+                policy,
+                r.root_sent,
+                r.root_received,
+                f"{r.root_energy_j:.2f}",
+                f"{r.mean_node_energy_j:.2f}",
+            ]
+        )
+    emit(
+        "root_skew",
+        format_table(
+            ["policy", "root sent", "root received", "root J", "mean node J"],
+            rows,
+            "Section 6: root-node load and energy by policy (REAL)",
+        ),
+    )
+
+    # BASE's root receives every reading: far more traffic lands on it than
+    # on SCOOP's root (which only collects summaries and rule-4 fallbacks).
+    assert results["base"].root_received > results["scoop"].root_received
+    # The average SCOOP node spends less energy than the average LOCAL node
+    # (the paper's 1 month -> 3 months claim) and than the average BASE node.
+    assert results["scoop"].mean_node_energy_j < results["local"].mean_node_energy_j
+    assert results["scoop"].mean_node_energy_j < results["base"].mean_node_energy_j
+    # Note: the paper additionally reports SCOOP's root as busier than its
+    # average node; with the basestation at the floor's corner, relay nodes
+    # in the middle of the tree carry more retransmissions than the root
+    # itself — recorded as a deviation in EXPERIMENTS.md (E7).

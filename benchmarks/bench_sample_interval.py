@@ -1,0 +1,53 @@
+"""E9 — Section 6 text: the sample-interval sweep.
+
+Paper: "As less data is stored, differences between the behavior of Scoop
+on different types of data are less pronounced as the cost of queries,
+mappings, and summaries becomes dominant."
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import sample_interval_sweep
+
+INTERVALS = (15.0, 60.0)
+
+
+def test_sample_interval(benchmark):
+    def run():
+        table = {}
+        for interval, specs in sample_interval_sweep(intervals=INTERVALS):
+            table[interval] = {s.workload: run_spec(s) for s in specs}
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for interval in INTERVALS:
+        per = table[interval]
+        rows.append(
+            [f"{interval:.0f}s"]
+            + [int(per[w].total_messages) for w in ("unique", "gaussian", "random")]
+        )
+    emit(
+        "sample_interval",
+        format_table(
+            ["sample interval", "unique", "gaussian", "random"],
+            rows,
+            "Section 6: Scoop cost vs sample interval, per data source",
+        ),
+    )
+
+    def spread(interval):
+        totals = [
+            table[interval][w].total_messages for w in ("unique", "gaussian", "random")
+        ]
+        return max(totals) - min(totals)
+
+    # The gap between the best and worst data source shrinks as the data
+    # rate drops.
+    assert spread(INTERVALS[-1]) < spread(INTERVALS[0])
+    # Less data, fewer messages overall for the data-heavy source.
+    assert (
+        table[INTERVALS[-1]]["random"].total_messages
+        < table[INTERVALS[0]]["random"].total_messages
+    )

@@ -1,0 +1,61 @@
+"""E8 — Section 6 text: scaling with network size.
+
+Paper: "the system scaled well up to 100 nodes with little overall effect
+on loss rate. We observed that Scoop over a RANDOM distribution is more
+sensitive to larger networks as data is sent further across the network;
+Scoop over other distributions is less sensitive to network size."
+"""
+
+from _harness import emit, run_spec
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import scaling
+
+SIZES = (25, 63, 100)
+
+
+def test_scaling(benchmark):
+    def run():
+        table = {}
+        for n, specs in scaling(sizes=SIZES):
+            table[n] = {s.workload: run_spec(s) for s in specs}
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n in SIZES:
+        real = table[n]["real"]
+        rand = table[n]["random"]
+        rows.append(
+            [
+                n,
+                int(real.total_messages),
+                f"{real.storage_success_rate:.0%}",
+                int(rand.total_messages),
+                f"{rand.storage_success_rate:.0%}",
+            ]
+        )
+    emit(
+        "scaling",
+        format_table(
+            ["nodes", "REAL msgs", "REAL stored", "RANDOM msgs", "RANDOM stored"],
+            rows,
+            "Section 6: Scoop total cost and storage success vs network size",
+        ),
+    )
+
+    # Cost grows with network size for both workloads...
+    assert table[SIZES[-1]]["real"].total_messages > table[SIZES[0]]["real"].total_messages
+    # ...but RANDOM (no locality; data crosses the network) grows at least
+    # as fast as REAL in absolute terms.
+    real_growth = (
+        table[SIZES[-1]]["real"].total_messages
+        - table[SIZES[0]]["real"].total_messages
+    )
+    rand_growth = (
+        table[SIZES[-1]]["random"].total_messages
+        - table[SIZES[0]]["random"].total_messages
+    )
+    assert rand_growth > 0.5 * real_growth
+    # Loss rates stay workable at 100 nodes ("scaled well up to 100 nodes").
+    assert table[SIZES[-1]]["real"].storage_success_rate > 0.75

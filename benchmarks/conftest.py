@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Benchmarks here are *experiment regenerations*: each one runs the paper's
+corresponding trial(s) once (rounds=1) and prints/persists the resulting
+table. Wall-clock timing is reported by pytest-benchmark but the interesting
+output is the message-count tables under ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _harness module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

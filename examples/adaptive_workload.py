@@ -1,0 +1,116 @@
+"""Watching Scoop adapt: the index migrates as query pressure shifts.
+
+Demonstrates the paper's central claim (Section 4, properties P1/P2):
+"data is stored closer to the basestation when the query rate is higher
+than data rates, and data is stored closer to the source when data rates
+are higher than query rates."
+
+The script runs three phases on a line topology (so "distance to the
+basestation" is just the node id) and prints where the hot value band is
+stored after each phase:
+
+  phase 1 — no queries: values live at their producers (deep in the line);
+  phase 2 — a query storm on one band: that band's owner migrates toward
+            the basestation;
+  phase 3 — queries stop: the band drifts back toward its producer.
+
+Usage:
+    python examples/adaptive_workload.py
+"""
+
+import statistics
+
+from repro.core.basestation import Basestation
+from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.node import ScoopNode
+from repro.core.query import Query
+from repro.sim.network import Network
+from repro.sim.topology import line
+from repro.workloads.synthetic import UniqueWorkload
+
+N = 10  # line: base 0 - 1 - 2 - ... - 9
+HOT_VALUE = 8  # produced by node 8, two hops from the line's end
+
+
+def owner_distance(base, value: int) -> str:
+    if base.current_index is None:
+        return "no index yet"
+    owner = base.current_index.owner_of(value)
+    return f"node {owner} (hops from base ~{owner})"
+
+
+def main() -> None:
+    config = ScoopConfig(
+        n_nodes=N,
+        domain=ValueDomain(0, 20),
+        sample_interval=6.0,
+        summary_interval=25.0,
+        remap_interval=60.0,
+        stabilization=80.0,
+        duration=1800.0,
+        beacon_interval=5.0,
+    )
+    network = Network(line(N), seed=3)
+    workload = UniqueWorkload(config.domain, N)
+    base = Basestation(network.sim, network.radio, config, tracker=network.tracker)
+    nodes = [
+        ScoopNode(
+            i, network.sim, network.radio, config,
+            data_source=workload.as_data_source(), tracker=network.tracker,
+        )
+        for i in config.sensor_ids
+    ]
+    network.add_mote(base)
+    for node in nodes:
+        network.add_mote(node)
+
+    network.boot_all(within=5.0)
+    network.run(config.stabilization)
+    for node in nodes:
+        node.start_sampling()
+    base.start_scoop()
+
+    # Phase 1: data only. Each node produces its own id; no query pressure.
+    network.run(network.sim.now + 300.0)
+    print(f"phase 1 (no queries):    value {HOT_VALUE} stored at "
+          f"{owner_distance(base, HOT_VALUE)}")
+
+    # Phase 2: hammer value 8 with queries every 2 seconds.
+    stop_at = network.sim.now + 400.0
+
+    def storm() -> None:
+        if network.sim.now >= stop_at:
+            return
+        base.issue_query(
+            Query(
+                time_range=(network.sim.now - 60.0, network.sim.now),
+                value_range=(HOT_VALUE, HOT_VALUE),
+            )
+        )
+        network.sim.schedule(2.0, storm)
+
+    network.sim.schedule(1.0, storm)
+    network.run(stop_at + 60.0)
+    print(f"phase 2 (query storm):   value {HOT_VALUE} stored at "
+          f"{owner_distance(base, HOT_VALUE)}")
+    owner_under_storm = base.current_index.owner_of(HOT_VALUE)
+
+    # Phase 3: silence again. Query statistics average over the whole
+    # history (the paper's estimator has long memory), so the band drifts
+    # back only slowly — it may still sit at the base after 15 minutes.
+    network.run(network.sim.now + 900.0)
+    print(f"phase 3 (queries over):  value {HOT_VALUE} stored at "
+          f"{owner_distance(base, HOT_VALUE)} "
+          "(drifts home slowly: the query-rate estimate decays with 1/t)")
+
+    print()
+    print(f"index versions disseminated: {len(base.index_history)}")
+    print(f"remaps suppressed as unchanged: {base.remaps_suppressed}")
+    assert owner_under_storm < 8, (
+        "expected the queried band to migrate toward the basestation"
+    )
+    print("OK: the queried band moved toward the basestation under load.")
+
+
+if __name__ == "__main__":
+    main()

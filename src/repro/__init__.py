@@ -1,0 +1,69 @@
+"""repro — a full reproduction of Scoop (Gil & Madden, ICDE 2007).
+
+Scoop is an adaptive indexing scheme for stored data in sensor networks:
+nodes report statistics to a basestation, which periodically computes a
+storage index mapping attribute values to owner nodes, minimising expected
+message cost; data is routed to its owner and queries contact only the
+owners of the requested values.
+
+Package layout:
+
+* :mod:`repro.sim` — the simulation substrate (event kernel, lossy radio,
+  routing tree, Trickle, flash, energy/message accounting);
+* :mod:`repro.core` — Scoop itself (histograms, statistics, the Figure 2
+  indexing algorithm, storage indices, node and basestation applications);
+* :mod:`repro.workloads` — the paper's five data sources and query streams;
+* :mod:`repro.baselines` — LOCAL, BASE (send-to-base) and HASH baselines;
+* :mod:`repro.experiments` — the runner and named scenarios regenerating
+  every figure and table of the paper's evaluation.
+
+Quick start::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(policy="scoop", workload="gaussian")
+    result = run_experiment(spec)
+    print(result.breakdown, result.total_messages)
+"""
+
+from repro.core import (
+    Basestation,
+    Query,
+    QueryResult,
+    ScoopConfig,
+    ScoopNode,
+    StorageIndex,
+    ValueDomain,
+    build_storage_index,
+)
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+    run_hash_analytical,
+    scale_spec,
+)
+from repro.workloads import Workload, make_workload
+from repro.workloads.queries import QueryPlanConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Basestation",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Query",
+    "QueryPlanConfig",
+    "QueryResult",
+    "ScoopConfig",
+    "ScoopNode",
+    "StorageIndex",
+    "ValueDomain",
+    "Workload",
+    "build_storage_index",
+    "make_workload",
+    "run_experiment",
+    "run_hash_analytical",
+    "scale_spec",
+    "__version__",
+]

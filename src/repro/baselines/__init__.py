@@ -1,0 +1,25 @@
+"""Baseline storage policies the paper compares Scoop against."""
+
+from repro.baselines.hash_static import (
+    AnalyticalHashModel,
+    HashBasestation,
+    HashCostEstimate,
+    HashNode,
+    build_hash_index,
+    hash_owner,
+)
+from repro.baselines.local import LocalBasestation, LocalNode
+from repro.baselines.send_base import SendToBaseBasestation, SendToBaseNode
+
+__all__ = [
+    "AnalyticalHashModel",
+    "HashBasestation",
+    "HashCostEstimate",
+    "HashNode",
+    "LocalBasestation",
+    "LocalNode",
+    "SendToBaseBasestation",
+    "SendToBaseNode",
+    "build_hash_index",
+    "hash_owner",
+]

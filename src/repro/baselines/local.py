@@ -1,0 +1,73 @@
+"""The LOCAL baseline: store everything locally, flood every query.
+
+Section 4/6 of the paper: "In LOCAL, nodes store all data locally and
+queries are flooded to all nodes in the network; sensors send their reply
+back." There is no statistics collection, no storage index and no mapping
+dissemination — the only Scoop-category packets are query floods and the
+replies they trigger.
+
+Implementation note: LOCAL reuses the Scoop node/basestation machinery with
+the adaptive parts switched off, so both systems share identical routing,
+MAC and accounting substrates — differences in the measured message counts
+come purely from the storage policy, as in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.basestation import Basestation
+from repro.core.config import ScoopConfig
+from repro.core.node import DataSource, ScoopNode
+from repro.core.query import Query
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import DeliveryTracker
+from repro.sim.radio import Radio
+
+
+class LocalNode(ScoopNode):
+    """Stores every reading in its own flash; never sends data/summaries."""
+
+    def on_boot(self) -> None:
+        # No mapping dissemination under LOCAL.
+        pass
+
+    def start_sampling(self) -> None:
+        if self.data_source is None:
+            raise RuntimeError(f"node {self.node_id} has no data source")
+        if self.sampling:
+            return
+        self.sampling = True
+        # Sample timer only: LOCAL sends no summaries.
+        self._sample_timer.start(
+            delay=self.sim.rng.uniform(0.0, self.config.sample_interval)
+        )
+
+    def _sample(self) -> None:
+        if not self.sampling or self.data_source is None:
+            return
+        now = self.sim.now
+        value = self.config.domain.clamp(self.data_source(self.node_id, now))
+        self.recent.add(now, value)
+        if self.tracker is not None:
+            self.tracker.reading_produced(
+                self.node_id, value, now, intended_owner=self.node_id
+            )
+        self._store_reading((value, now, self.node_id))
+
+
+class LocalBasestation(Basestation):
+    """Floods every query to every node; builds no indices."""
+
+    def on_boot(self) -> None:
+        pass  # no mapping dissemination
+
+    def start_scoop(self) -> None:
+        pass  # no remapping under LOCAL
+
+    def plan_query(self, query: Query) -> Set[int]:
+        """LOCAL "has to always query all nodes" (Section 6, Figure 4):
+        without an index the basestation cannot narrow the flood, even for
+        node-list queries — only the ``node_filter`` narrows the *answers*.
+        """
+        return set(range(1, self.config.n_nodes))

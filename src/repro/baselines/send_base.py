@@ -1,0 +1,65 @@
+"""The BASE baseline: send every reading to the basestation.
+
+Section 4/6 of the paper: "In BASE, all nodes send their data up the
+routing tree to the basestation and queries have no associated cost" —
+the TinyDB/Cougar collection model Scoop's introduction argues against.
+Readings are transmitted as they are produced (one data message per
+sample, the acquisitional model of TinyDB), so "on average, each data item
+[is] sent roughly halfway across the network" and the root becomes the
+reception hotspot the paper measures in its skew experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.basestation import Basestation
+from repro.core.messages import DataMessage
+from repro.core.node import ScoopNode
+from repro.core.query import Query
+
+
+class SendToBaseNode(ScoopNode):
+    """Ships each reading straight up the routing tree, unbatched."""
+
+    def on_boot(self) -> None:
+        pass  # no mapping dissemination under BASE
+
+    def start_sampling(self) -> None:
+        if self.data_source is None:
+            raise RuntimeError(f"node {self.node_id} has no data source")
+        if self.sampling:
+            return
+        self.sampling = True
+        # Sample timer only: BASE sends no summaries.
+        self._sample_timer.start(
+            delay=self.sim.rng.uniform(0.0, self.config.sample_interval)
+        )
+
+    def _sample(self) -> None:
+        if not self.sampling or self.data_source is None:
+            return
+        now = self.sim.now
+        value = self.config.domain.clamp(self.data_source(self.node_id, now))
+        self.recent.add(now, value)
+        base = self.config.basestation_id
+        if self.tracker is not None:
+            self.tracker.reading_produced(self.node_id, value, now, intended_owner=base)
+        message = DataMessage(
+            readings=[(value, now, self.node_id)], owner=base, sid=0
+        )
+        self._route_by_rules(message)
+
+
+class SendToBaseBasestation(Basestation):
+    """All data already lives here; queries cost nothing (Section 6)."""
+
+    def on_boot(self) -> None:
+        pass
+
+    def start_scoop(self) -> None:
+        pass  # no remapping under BASE
+
+    def plan_query(self, query: Query) -> Set[int]:
+        """Answer every query from the local store: zero radio targets."""
+        return set()

@@ -1,0 +1,57 @@
+"""Scoop core: the paper's primary contribution.
+
+Storage indices (Section 4), the Figure 2 construction algorithm with its
+extensions, statistics collection (Section 5.2), Trickle-based index
+dissemination (Section 5.3), the six data-routing rules (Section 5.4), and
+query planning/answering (Section 5.5).
+"""
+
+from repro.core.basestation import Basestation
+from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.cost_model import NetworkModel, hop_cost
+from repro.core.histogram import Histogram
+from repro.core.indexing import (
+    IndexBuildResult,
+    build_storage_index,
+    evaluate_index_cost,
+    evaluate_store_local_cost,
+)
+from repro.core.messages import (
+    DataMessage,
+    MappingChunk,
+    QueryMessage,
+    ReplyMessage,
+    SummaryMessage,
+)
+from repro.core.node import DataSource, ScoopNode
+from repro.core.query import Query, QueryResult
+from repro.core.statistics import BasestationStatistics, NodeRecord, QueryStatistics
+from repro.core.storage_index import STORE_LOCAL, RangeEntry, StorageIndex
+
+__all__ = [
+    "Basestation",
+    "BasestationStatistics",
+    "DataMessage",
+    "DataSource",
+    "Histogram",
+    "IndexBuildResult",
+    "MappingChunk",
+    "NetworkModel",
+    "NodeRecord",
+    "Query",
+    "QueryMessage",
+    "QueryResult",
+    "QueryStatistics",
+    "RangeEntry",
+    "ReplyMessage",
+    "STORE_LOCAL",
+    "ScoopConfig",
+    "ScoopNode",
+    "StorageIndex",
+    "SummaryMessage",
+    "ValueDomain",
+    "build_storage_index",
+    "evaluate_index_cost",
+    "evaluate_store_local_cost",
+    "hop_cost",
+]

@@ -1,0 +1,290 @@
+"""The Scoop basestation: statistics sink, index builder, query frontend.
+
+The basestation (run on a PC in the paper, attached to mote 0) closes the
+Scoop control loop:
+
+* it ingests every summary that survives the trip up the tree and every
+  origin/parent header it hears (Section 5.2);
+* every ``remap_interval`` seconds it rebuilds the storage index from its
+  statistics (Figure 2), suppresses dissemination when the new index is
+  nearly identical to the current one (Section 5.3), and otherwise seeds
+  its Trickle disseminator with the new chunks;
+* it plans and issues queries (Section 5.5): consulting *all* storage
+  indices that could have been active during the queried time window —
+  "the basestation never discards old storage indices" — plus nodes that
+  were storing locally, encodes the target set in the query bitmap, floods
+  it selectively, and assembles replies;
+* it answers what it can for free: data that was stored at the root (rule
+  4 traffic) is scanned locally, and MAX/MIN-style questions are answered
+  straight from summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ScoopConfig
+from repro.core.cost_model import NetworkModel
+from repro.core.indexing import IndexBuildResult, build_storage_index
+from repro.core.messages import QueryMessage, ReplyMessage, SummaryMessage
+from repro.core.node import ScoopNode
+from repro.core.query import Query, QueryResult
+from repro.core.statistics import BasestationStatistics
+from repro.core.storage_index import STORE_LOCAL, StorageIndex
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.metrics import DeliveryTracker
+from repro.sim.packets import Frame, FrameKind
+from repro.sim.radio import Radio
+
+
+class Basestation(ScoopNode):
+    """Node 0: the root of the routing tree and the brain of Scoop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        config: ScoopConfig,
+        tracker: Optional[DeliveryTracker] = None,
+        energy=None,
+    ):
+        super().__init__(
+            node_id=config.basestation_id,
+            sim=sim,
+            radio=radio,
+            config=config,
+            data_source=None,
+            tracker=tracker,
+            energy=energy,
+            is_root=True,
+        )
+        self.stats = BasestationStatistics(config)
+        self._sid_counter = 0
+        #: (created_at, index) for every index ever disseminated.
+        self.index_history: List[Tuple[float, StorageIndex]] = []
+        self.last_build: Optional[IndexBuildResult] = None
+        self.remaps_run = 0
+        self.remaps_suppressed = 0
+        self._remap_timer = Timer(
+            sim, self._remap, interval=config.remap_interval, periodic=True, jitter=0.02
+        )
+        self._open_queries: Dict[int, QueryResult] = {}
+        self.query_log: List[QueryResult] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_scoop(self) -> None:
+        """Start periodic index recomputation (call when sampling starts)."""
+        self._remap_timer.start(delay=self.config.remap_interval)
+
+    def stop_scoop(self) -> None:
+        self._remap_timer.stop()
+
+    # ------------------------------------------------------------------
+    # Statistics ingestion
+    # ------------------------------------------------------------------
+    def _observe(self, frame: Frame) -> None:
+        super()._observe(frame)
+        if frame.kind is not FrameKind.ACK:
+            self.stats.observe_packet_header(
+                frame.origin, frame.origin_parent, self.sim.now
+            )
+
+    def _ingest_summary(self, frame: Frame) -> None:
+        summary: SummaryMessage = frame.payload
+        self.stats.ingest_summary(summary, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Index construction and dissemination
+    # ------------------------------------------------------------------
+    def _remap(self) -> None:
+        now = self.sim.now
+        model = NetworkModel.from_statistics(self.stats)
+        result = build_storage_index(
+            self._sid_counter + 1,
+            self.stats,
+            model,
+            self.config,
+            now,
+            previous=self.current_index,
+        )
+        self.last_build = result
+        self.remaps_run += 1
+        candidate = result.index
+        if result.chose_store_local:
+            candidate = StorageIndex.uniform(
+                self._sid_counter + 1, self.config.domain, STORE_LOCAL
+            )
+        if self._should_suppress(candidate, model, result, now):
+            # "...suppressing the dissemination of a new storage index
+            # altogether if it is very similar to the previous" — nodes
+            # keep using the old one.
+            self.remaps_suppressed += 1
+            return
+        self._sid_counter += 1
+        self.current_index = candidate
+        self.index_history.append((now, candidate))
+        self.disseminator.seed(self._sid_counter, candidate.to_chunks())
+
+    def _should_suppress(
+        self,
+        candidate: StorageIndex,
+        model: NetworkModel,
+        result: IndexBuildResult,
+        now: float,
+    ) -> bool:
+        """Suppress dissemination when the new index is "very similar" to
+        the current one (Section 5.3) — similar both in the fraction of the
+        domain mapped identically AND in expected cost, so a small change
+        to a *hot* value (e.g. a heavily queried band moving toward the
+        base) still propagates."""
+        if self.current_index is None:
+            return False
+        if candidate.similarity(self.current_index) < self.config.suppression_similarity:
+            return False
+        if STORE_LOCAL in self.current_index.all_owners() or STORE_LOCAL in (
+            candidate.all_owners()
+        ):
+            # Policy-mode changes always disseminate; plain similarity is
+            # not meaningful across the sentinel.
+            return candidate.similarity(self.current_index) >= 1.0
+        from repro.core.indexing import evaluate_index_cost
+
+        old_cost = evaluate_index_cost(
+            self.current_index, self.stats, model, self.config, now
+        )
+        new_cost = max(result.expected_cost, 1e-9)
+        # 25% slack: statistics built from 30-reading histograms fluctuate
+        # that much without the placement being meaningfully better, and
+        # re-disseminating resets every node's chunk-collection progress.
+        return old_cost <= new_cost * 1.25 + 1e-9
+
+    # ------------------------------------------------------------------
+    # Query planning (Section 5.5)
+    # ------------------------------------------------------------------
+    def _indices_active_during(self, t_lo: float, t_hi: float) -> List[StorageIndex]:
+        """All indices whose activity window may overlap [t_lo, t_hi].
+
+        An index is active from its creation until the *next* index is
+        created — but nodes lag (lost chunks), so the basestation also
+        keeps any index some node reported using in the window
+        (``sids_in_use``).
+        """
+        reported = self.stats.sids_in_use(t_lo, t_hi)
+        active: List[StorageIndex] = []
+        for position, (created_at, index) in enumerate(self.index_history):
+            next_created = (
+                self.index_history[position + 1][0]
+                if position + 1 < len(self.index_history)
+                else float("inf")
+            )
+            by_time = created_at <= t_hi and next_created >= t_lo
+            if by_time or index.sid in reported:
+                active.append(index)
+        return active
+
+    def plan_query(self, query: Query) -> Set[int]:
+        """The set of nodes that may hold matching tuples."""
+        if query.node_list is not None:
+            return set(query.node_list)
+        t_lo, t_hi = query.time_range
+        v_range = query.value_range or (
+            self.config.domain.lo,
+            self.config.domain.hi,
+        )
+        targets: Set[int] = set()
+        local_mode = False
+        for index in self._indices_active_during(t_lo, t_hi):
+            owners = index.owners_for_range(*v_range)
+            if STORE_LOCAL in owners:
+                local_mode = True
+                owners = owners - {STORE_LOCAL}
+            targets |= owners
+        reported = self.stats.sids_in_use(t_lo, t_hi)
+        if -1 in reported or local_mode or not self.index_history:
+            # Some nodes were storing locally: add every node whose recent
+            # value range could overlap the query.
+            targets |= self.stats.nodes_possibly_storing_locally(
+                query.value_range, t_lo, t_hi
+            )
+        # Data that fell back to the root is found by the free local scan.
+        targets.discard(self.node_id)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Query issue / reply assembly
+    # ------------------------------------------------------------------
+    def issue_query(self, query: Query) -> QueryResult:
+        now = self.sim.now
+        self.stats.record_query(query.value_range, now)
+        targets = self.plan_query(query)
+        result = QueryResult(query=query, nodes_targeted=set(targets))
+        # Free local scan: rule-4 fallback data and anything the root owns.
+        local = self.flash.scan(
+            time_range=query.time_range, value_range=query.value_range
+        )
+        if query.node_list is not None:
+            local = [r for r in local if r.origin in query.node_list]
+        result.add_readings([(r.value, r.timestamp, r.origin) for r in local])
+        result.local_readings = len(local)
+
+        if not targets:
+            result.answered_locally = True
+            result.closed = True
+            self.query_log.append(result)
+            return result
+
+        message = QueryMessage(
+            query_id=query.query_id,
+            bitmap=frozenset(targets),
+            time_range=query.time_range,
+            value_range=query.value_range,
+            issued_at=now,
+            node_filter=query.node_list,
+        )
+        self._open_queries[query.query_id] = result
+        if self.tracker is not None:
+            self.tracker.query_issued(query.query_id, now, nodes_targeted=len(targets))
+        # Mark our own query as heard so a neighbor's rebroadcast doesn't
+        # make us treat it as new, then gossip it out (initial broadcast
+        # plus the modified-Trickle repeats all nodes use).
+        self._queries_heard[query.query_id] = 1
+        self.broadcast(FrameKind.QUERY, message)
+        self._start_query_gossip(message)
+        self.sim.schedule(
+            self.config.query_reply_window, self._close_query, query.query_id
+        )
+        return result
+
+    def _ingest_reply(self, frame: Frame) -> None:
+        reply: ReplyMessage = frame.payload
+        self._accept_reply(reply, from_network=True)
+
+    def _ingest_reply_local(self, reply: ReplyMessage) -> None:
+        self._accept_reply(reply, from_network=False)
+
+    def _accept_reply(self, reply: ReplyMessage, from_network: bool) -> None:
+        result = self._open_queries.get(reply.query_id)
+        if result is None:
+            return  # reply window already closed
+        result.nodes_replied.add(reply.origin)
+        result.add_readings(reply.readings)
+        if from_network and self.tracker is not None:
+            self.tracker.query_reply(reply.query_id, len(reply.readings))
+
+    def _close_query(self, query_id: int) -> None:
+        result = self._open_queries.pop(query_id, None)
+        if result is not None:
+            result.closed = True
+            self.query_log.append(result)
+
+    # ------------------------------------------------------------------
+    # Summary-based answers (free of network cost)
+    # ------------------------------------------------------------------
+    def answer_max(self, since: float = 0.0) -> Optional[int]:
+        """MAX(attr) straight from summaries (Section 5.5 optimization)."""
+        return self.stats.max_value_seen(since)
+
+    def answer_min(self, since: float = 0.0) -> Optional[int]:
+        return self.stats.min_value_seen(since)

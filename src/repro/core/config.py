@@ -1,0 +1,182 @@
+"""Scoop system configuration with the paper's default parameters.
+
+Every default in :class:`ScoopConfig` is taken from the paper's experiment
+table (Section 6) or the inline parameter values the text mentions; the
+docstring on each field cites the source. Experiments override only what the
+corresponding figure varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ValueDomain:
+    """Integer domain of an indexed attribute.
+
+    The paper's REAL trace has ~150 distinct values ("V was at about 150");
+    the synthetic sources use [0, 100].
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty domain [{self.lo}, {self.hi}]")
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __iter__(self):
+        return iter(range(self.lo, self.hi + 1))
+
+    def clamp(self, value: int) -> int:
+        return max(self.lo, min(self.hi, int(value)))
+
+    def index_of(self, value: int) -> int:
+        if value not in self:
+            raise ValueError(f"value {value} outside domain [{self.lo}, {self.hi}]")
+        return value - self.lo
+
+
+@dataclass
+class ScoopConfig:
+    """All tunables of a Scoop deployment, defaulted to the paper's values."""
+
+    # -- workload timing (paper experiment table) ------------------------
+    #: Seconds between sensor samples ("sample rate: 1 in 15 seconds").
+    sample_interval: float = 15.0
+    #: Seconds between queries ("query rate: 1 in 15 seconds").
+    query_interval: float = 15.0
+    #: Seconds between summary messages ("summary rate: 1 in 110 seconds").
+    summary_interval: float = 110.0
+    #: Seconds between storage-index recomputations ("remap rate: 1 in 240").
+    remap_interval: float = 240.0
+    #: Measured experiment duration ("duration: 40 minutes").
+    duration: float = 2400.0
+    #: Tree-stabilization warm-up before sampling starts ("The first 10
+    #: minutes are spent stabilizing the network").
+    stabilization: float = 600.0
+
+    # -- network sizing ---------------------------------------------------
+    #: Nodes including the basestation ("size: 62 nodes + 1 base").
+    n_nodes: int = 63
+    #: Query bitmap capacity ("an upper bound to the size of the sensor
+    #: network; 128 nodes in our current implementation").
+    max_network_size: int = 128
+
+    # -- data / statistics ------------------------------------------------
+    #: Attribute domain (REAL trace: ~150 values; synthetic: [0, 100]).
+    domain: ValueDomain = field(default_factory=lambda: ValueDomain(0, 100))
+    #: Histogram bins in summary messages ("nBins is 10").
+    n_bins: int = 10
+    #: Recent-readings ring size ("size 30, in our experiments").
+    recent_readings_size: int = 30
+    #: Neighbors reported in a summary ("12, in our experiments").
+    summary_neighbors: int = 12
+    #: Descendants/neighbor list capacity ("32, in our experiments").
+    max_descendants: int = 32
+    max_neighbors: int = 32
+
+    # -- data routing -----------------------------------------------------
+    #: Readings batched into one data message ("by default we use n = 5").
+    batch_size: int = 5
+    #: Hop budget before a data packet gives up and routes to the root
+    #: (loop protection; the paper reports ~15% of readings falling back to
+    #: the root when the owner "could not be found"). Roughly twice the
+    #: network diameter.
+    max_data_hops: int = 10
+    #: Seconds a partially filled batch may wait before being flushed. The
+    #: paper flushes only on owner change or a full batch; the timeout is a
+    #: liveness backstop and must exceed batch_size × sample_interval or it
+    #: defeats batching entirely.
+    batch_flush_timeout: float = 120.0
+
+    # -- queries ------------------------------------------------------------
+    #: Query width as a fraction of the value domain ("a query ... over
+    #: 1-5% of the attribute's value domain").
+    query_width_frac: Tuple[float, float] = (0.01, 0.05)
+    #: How long the basestation keeps a query open for replies (the paper:
+    #: "it takes several seconds for the first replies to come back"; with
+    #: staggered answers and per-hop retransmission backoff, stragglers
+    #: arrive close to 15 s).
+    query_reply_window: float = 20.0
+
+    # -- index construction / dissemination --------------------------------
+    #: Suppress dissemination when the new index maps at least this
+    #: fraction of the domain identically to the current one (Section 5.3:
+    #: "suppressing the dissemination of a new storage index altogether if
+    #: it is very similar to the previous storage index").
+    suppression_similarity: float = 0.95
+    #: Whether the basestation may fall back to a store-local policy when
+    #: that is cheaper (Section 4). The paper's SCOOP experiments disable
+    #: this ("the optimization ... has been disabled") so the figures
+    #: measure the index itself.
+    allow_store_local_fallback: bool = False
+    #: Index extension: maximum owners per value (1 = paper's default
+    #: algorithm; >1 enables the owner-set extension of Section 4).
+    max_owners_per_value: int = 1
+    #: Index extension: place fixed-width ranges instead of single values
+    #: (0 = per-value placement, the paper's default).
+    range_placement_width: int = 0
+
+    # -- protocol timing ----------------------------------------------------
+    beacon_interval: float = 10.0
+    #: Trickle bounds for mapping dissemination. imax is half the remap
+    #: interval: steady-state maintenance is one advert per neighborhood
+    #: per 2 minutes, negligible next to data traffic.
+    trickle_imin: float = 2.0
+    trickle_imax: float = 120.0
+    trickle_k: int = 1
+    #: Random assessment delay before rebroadcasting a query packet.
+    query_rebroadcast_delay: Tuple[float, float] = (0.02, 0.25)
+    #: Query relay eligibility: "selective" is the paper's rule (relay only
+    #: when the bitmap intersects the descendants/neighbor lists); "tree"
+    #: additionally lets every routing-tree interior node relay, trading
+    #: extra query messages for reach in small/sparse networks.
+    query_relay_mode: str = "selective"
+    #: Gossip repetitions per query (the modified-Trickle rounds).
+    query_gossip_rounds: int = 3
+    #: Near-tie tolerance when stabilising index owner choices: candidates
+    #: within this fraction of the per-value minimum cost may be replaced
+    #: by the contiguity/stability-preferred owner.
+    index_tie_tolerance: float = 0.15
+
+    # -- storage ------------------------------------------------------------
+    #: Flash capacity in readings (paper: ~670,000 per MB; default 1 MB).
+    flash_capacity: int = 670_000
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("need at least a basestation and one sensor")
+        if self.n_nodes > self.max_network_size:
+            raise ValueError(
+                f"{self.n_nodes} nodes exceeds the {self.max_network_size}-node "
+                "query bitmap"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        lo, hi = self.query_width_frac
+        if not (0 < lo <= hi <= 1):
+            raise ValueError("query_width_frac must satisfy 0 < lo <= hi <= 1")
+
+    @property
+    def basestation_id(self) -> int:
+        """The basestation is always node 0 in this implementation."""
+        return 0
+
+    @property
+    def sensor_ids(self) -> range:
+        return range(1, self.n_nodes)
+
+    def total_runtime(self) -> float:
+        return self.stabilization + self.duration

@@ -1,0 +1,154 @@
+"""Scoop application-message payloads and their wire sizes.
+
+Five message families (Sections 5.2-5.5 of the paper):
+
+* :class:`SummaryMessage` — node -> basestation statistics: a coarse
+  histogram over recent data, the lowest/highest/sum of recent values, the
+  node's best-connected neighbors sorted by link quality, and the ID of the
+  last complete storage index the node holds;
+* :class:`MappingChunk` — one piece of a storage index, a list of
+  ``(value-range, owner)`` entries, disseminated by Trickle;
+* :class:`DataMessage` — readings routed to their owner, carrying the
+  paper's three routing fields: the data, the owner ``o`` and the storage
+  index ID ``sid`` that chose it (both rewritable in flight by nodes with a
+  newer index);
+* :class:`QueryMessage` — a query flooded selectively with a node bitmap;
+* :class:`ReplyMessage` — matching tuples routed back up the tree.
+
+Wire sizes are estimates of a compact C layout and cap at the TinyOS
+payload; they drive airtime and the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.histogram import Histogram
+
+#: (value, timestamp, producer) — one sensor reading on the wire.
+WireReading = Tuple[int, float, int]
+
+#: Bytes per reading inside data/reply messages: 12-bit value + timestamp
+#: + producer id, packed.
+READING_WIRE_BYTES = 4
+
+#: Bytes per (lo, hi, owner) entry in a mapping chunk.
+MAPPING_ENTRY_BYTES = 5
+
+#: Entries that fit in one mapping chunk given the TinyOS payload.
+MAX_ENTRIES_PER_CHUNK = 5
+
+
+@dataclass(frozen=True)
+class SummaryMessage:
+    """Periodic per-node statistics report (Section 5.2)."""
+
+    origin: int
+    histogram: Optional[Histogram]
+    min_value: int
+    max_value: int
+    sum_values: int
+    #: number of readings taken since the previous summary (lets the
+    #: basestation estimate this node's data rate).
+    readings_since_last: int
+    #: best-connected neighbors as (node, quality), sorted by quality desc.
+    neighbors: Tuple[Tuple[int, float], ...]
+    #: ID of the last complete storage index this node received.
+    last_sid: int
+
+    def wire_bytes(self) -> int:
+        hist = self.histogram.wire_bytes() if self.histogram else 0
+        return hist + 8 + 2 * len(self.neighbors) + 2
+
+
+@dataclass(frozen=True)
+class MappingChunk:
+    """One Trickle-disseminated piece of a storage index (Section 5.3)."""
+
+    sid: int
+    index: int
+    total: int
+    #: compacted entries: (value_lo, value_hi, owner)
+    entries: Tuple[Tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.total:
+            raise ValueError(f"chunk index {self.index} outside 0..{self.total - 1}")
+
+    def wire_bytes(self) -> int:
+        return 4 + MAPPING_ENTRY_BYTES * len(self.entries)
+
+
+@dataclass
+class DataMessage:
+    """A batch of readings en route to their owner (Section 5.4).
+
+    ``owner`` and ``sid`` may be overwritten in flight by any node holding
+    a storage index newer than ``sid`` (routing rule 1); ``hops`` is the
+    loop-protection budget; ``force_base`` marks a packet that exhausted its
+    budget and now simply climbs the tree to be stored at the root.
+    """
+
+    readings: List[WireReading]
+    owner: int
+    sid: int
+    hops: int = 0
+    force_base: bool = False
+
+    def wire_bytes(self) -> int:
+        return 5 + READING_WIRE_BYTES * len(self.readings)
+
+    def values(self) -> List[int]:
+        return [v for v, _t, _p in self.readings]
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """A query disseminated with a node bitmap (Section 5.5)."""
+
+    query_id: int
+    #: nodes that must answer (the packet's header bitmap).
+    bitmap: FrozenSet[int]
+    time_range: Tuple[float, float]
+    #: inclusive value range, or None for node-list queries.
+    value_range: Optional[Tuple[int, int]]
+    issued_at: float
+    #: for node-list queries: only readings produced by these nodes match.
+    #: (Distinct from ``bitmap``: under LOCAL the flood must reach every
+    #: node, but only the listed producers' data is wanted.)
+    node_filter: Optional[FrozenSet[int]] = None
+
+    def wire_bytes(self) -> int:
+        # 128-bit bitmap + qid + time range + value range (+ filter bitmap)
+        return 16 + 2 + 8 + 4 + (16 if self.node_filter is not None else 0)
+
+    def matches(self, value: int, timestamp: float, producer: int = -1) -> bool:
+        t_lo, t_hi = self.time_range
+        if not t_lo <= timestamp <= t_hi:
+            return False
+        if self.node_filter is not None and producer not in self.node_filter:
+            return False
+        if self.value_range is None:
+            return True
+        v_lo, v_hi = self.value_range
+        return v_lo <= value <= v_hi
+
+
+@dataclass
+class ReplyMessage:
+    """One fragment of a node's answer to a query (Section 5.5).
+
+    A node replies even when nothing matched ("sends a reply—even if no
+    tuples matched the query"); ``fragment``/``total_fragments`` let large
+    answers span several packets.
+    """
+
+    query_id: int
+    origin: int
+    readings: List[WireReading]
+    fragment: int = 0
+    total_fragments: int = 1
+
+    def wire_bytes(self) -> int:
+        return 5 + READING_WIRE_BYTES * len(self.readings)

@@ -1,0 +1,552 @@
+"""The Scoop sensor-node application (Sections 5.2-5.5 of the paper).
+
+A :class:`ScoopNode` runs on top of the simulated mote stack and implements
+the node half of Scoop:
+
+* **sampling** at the configured rate, keeping the recent-readings ring
+  from which summary histograms are built;
+* **summary messages** every ``summary_interval`` seconds, unicast hop by
+  hop up the routing tree to the basestation;
+* **storage-index reception** over Trickle; a node only ever *uses* a
+  complete index and keeps its previous complete index until a newer one
+  fully arrives; before the first complete index it stores locally
+  (Section 5.3);
+* **data routing** by the paper's six rules (Section 5.4), verbatim:
+
+    1. a node with a storage index newer than the packet's ``sid`` rewrites
+       the owner;
+    2. if the owner is this node, store locally;
+    3. if the owner is in the neighbor list, send directly (shortcut);
+    4. if this node is the basestation, store here — never route back down;
+    5. if the owner is in the descendants list, send down that branch;
+    6. otherwise send to the parent;
+
+  with batching of up to ``batch_size`` readings per data message;
+* **query handling**: answering queries whose bitmap names this node by a
+  linear flash scan, and selectively rebroadcasting query packets using the
+  bitmap plus the neighbor and descendants lists (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import ScoopConfig
+from repro.core.histogram import Histogram
+from repro.core.messages import (
+    DataMessage,
+    MappingChunk,
+    QueryMessage,
+    ReplyMessage,
+    SummaryMessage,
+    WireReading,
+)
+from repro.core.storage_index import STORE_LOCAL, StorageIndex
+from repro.sim.flash import Flash, RecentReadings, StoredReading
+from repro.sim.kernel import EventHandle, Simulator, Timer
+from repro.sim.metrics import DeliveryTracker
+from repro.sim.mote import Mote
+from repro.sim.packets import Frame, FrameKind
+from repro.sim.radio import Radio
+from repro.sim.trickle import Advertisement, ChunkDisseminator
+
+#: A reading producer: (node_id, now) -> raw value.
+DataSource = Callable[[int, float], int]
+
+
+class ScoopNode(Mote):
+    """One Scoop sensor node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: Radio,
+        config: ScoopConfig,
+        data_source: Optional[DataSource] = None,
+        tracker: Optional[DeliveryTracker] = None,
+        energy=None,
+        is_root: bool = False,
+    ):
+        super().__init__(
+            node_id,
+            sim,
+            radio,
+            is_root=is_root,
+            beacon_interval=config.beacon_interval,
+            max_descendants=config.max_descendants,
+            max_neighbors=config.max_neighbors,
+        )
+        self.config = config
+        self.data_source = data_source
+        self.tracker = tracker
+        self.flash = Flash(
+            capacity_readings=config.flash_capacity, meter=energy, node_id=node_id
+        )
+        self.recent = RecentReadings(config.recent_readings_size)
+
+        #: last *complete* storage index (None -> store locally).
+        self.current_index: Optional[StorageIndex] = None
+        self.disseminator: ChunkDisseminator[MappingChunk] = ChunkDisseminator(
+            sim,
+            send_advert=self._send_advert,
+            send_chunk=self._send_chunk,
+            on_complete=self._index_complete,
+            imin=config.trickle_imin,
+            imax=config.trickle_imax,
+            k=config.trickle_k,
+        )
+
+        self._sample_timer = Timer(
+            sim, self._sample, interval=config.sample_interval, periodic=True, jitter=0.05
+        )
+        self._summary_timer = Timer(
+            sim, self._send_summary, interval=config.summary_interval, periodic=True,
+            jitter=0.1,
+        )
+        self.sampling = False
+        self.readings_since_summary = 0
+
+        # batching state (Section 5.4): one open batch per destination owner
+        self._batch: List[WireReading] = []
+        self._batch_owner: Optional[int] = None
+        self._batch_sid: int = -1
+        self._batch_deadline: Optional[EventHandle] = None
+
+        # query gossip state (the paper's "modified version of Trickle"):
+        # qid -> {heard-this-round, rounds-sent, pending timer}
+        self._queries_heard: Dict[int, int] = {}
+        self._query_gossip: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_boot(self) -> None:
+        self.disseminator.start()
+
+    def start_sampling(self) -> None:
+        """Begin the measured workload (after tree stabilization)."""
+        if self.data_source is None:
+            raise RuntimeError(f"node {self.node_id} has no data source")
+        if self.sampling:
+            return
+        self.sampling = True
+        self._sample_timer.start(
+            delay=self.sim.rng.uniform(0.0, self.config.sample_interval)
+        )
+        self._summary_timer.start(
+            delay=self.sim.rng.uniform(
+                self.config.summary_interval * 0.25, self.config.summary_interval
+            )
+        )
+
+    def stop_sampling(self) -> None:
+        self.sampling = False
+        self._sample_timer.stop()
+        self._summary_timer.stop()
+        self._flush_batch()
+
+    # ------------------------------------------------------------------
+    # Sampling and batching
+    # ------------------------------------------------------------------
+    @property
+    def sid(self) -> int:
+        return self.current_index.sid if self.current_index is not None else -1
+
+    def _choose_owner(self, value: int) -> Optional[int]:
+        """Owner for ``value`` under the current index (None = no index).
+
+        With the owner-set extension a node prefers itself, then the
+        closest owner in its neighbor list, then the first listed owner.
+        """
+        if self.current_index is None:
+            return None
+        owners = self.current_index.owners_of(value)
+        if STORE_LOCAL in owners or self.node_id in owners:
+            return self.node_id
+        if len(owners) == 1:
+            return owners[0]
+        in_reach = [o for o in owners if self.tree.in_neighbor_list(o)]
+        if in_reach:
+            return max(in_reach, key=self.linkest.quality)
+        return owners[0]
+
+    def _sample(self) -> None:
+        if not self.sampling or self.data_source is None:
+            return
+        now = self.sim.now
+        value = self.config.domain.clamp(self.data_source(self.node_id, now))
+        self.recent.add(now, value)
+        self.readings_since_summary += 1
+        owner = self._choose_owner(value)
+        if self.tracker is not None:
+            self.tracker.reading_produced(
+                self.node_id, value, now, intended_owner=owner
+            )
+        if owner is None or owner == self.node_id:
+            # No index yet (store locally, Section 5.3) or we own the value.
+            self._store_reading((value, now, self.node_id))
+            return
+        self._add_to_batch((value, now, self.node_id), owner)
+
+    def _add_to_batch(self, reading: WireReading, owner: int) -> None:
+        if self._batch and self._batch_owner != owner:
+            # "As soon as a node produces data for another node ... the
+            # message is sent."
+            self._flush_batch()
+        if not self._batch:
+            self._batch_owner = owner
+            self._batch_sid = self.sid
+            self._batch_deadline = self.sim.schedule(
+                self.config.batch_flush_timeout, self._flush_batch
+            )
+        self._batch.append(reading)
+        if len(self._batch) >= self.config.batch_size:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        if self._batch_deadline is not None:
+            self._batch_deadline.cancel()
+            self._batch_deadline = None
+        if not self._batch or self._batch_owner is None:
+            self._batch = []
+            return
+        message = DataMessage(
+            readings=list(self._batch), owner=self._batch_owner, sid=self._batch_sid
+        )
+        self._batch = []
+        self._batch_owner = None
+        self.route_data(message)
+
+    # ------------------------------------------------------------------
+    # Data routing (the six rules)
+    # ------------------------------------------------------------------
+    def _store_reading(self, reading: WireReading) -> None:
+        value, timestamp, producer = reading
+        self.flash.store(
+            StoredReading(origin=producer, value=value, timestamp=timestamp)
+        )
+        if self.tracker is not None:
+            self.tracker.reading_stored(
+                producer, value, timestamp, stored_at=self.node_id, time=self.sim.now
+            )
+
+    def _store_message(self, message: DataMessage) -> None:
+        for reading in message.readings:
+            self._store_reading(reading)
+
+    #: minimum snooped link quality for the rule-3 neighbor shortcut; the
+    #: neighbor list also contains barely audible nodes, and burning six
+    #: retransmissions on a 10%-delivery link before falling back is worse
+    #: than climbing the tree directly.
+    SHORTCUT_MIN_QUALITY = 0.25
+
+    def route_data(self, message: DataMessage, from_node: Optional[int] = None) -> None:
+        """Apply routing rules 1-6 to a produced or received data message.
+
+        ``from_node`` is the link sender we received it from (None when we
+        produced it); it breaks stale-descendant ping-pong loops.
+        """
+        # Rule 1: a newer index rewrites owner and sid. A batch whose
+        # values now map to different owners is split per new owner.
+        if (
+            not message.force_base
+            and self.current_index is not None
+            and self.current_index.sid > message.sid
+        ):
+            regrouped: Dict[int, List[WireReading]] = {}
+            for reading in message.readings:
+                owner = self._choose_owner(reading[0])
+                regrouped.setdefault(owner, []).append(reading)
+            for owner, readings in regrouped.items():
+                self._route_by_rules(
+                    DataMessage(
+                        readings=readings,
+                        owner=owner,
+                        sid=self.sid,
+                        hops=message.hops,
+                    ),
+                    from_node,
+                )
+            return
+        self._route_by_rules(message, from_node)
+
+    def _route_by_rules(self, message: DataMessage, from_node: Optional[int] = None) -> None:
+        owner = message.owner
+        # Rule 2: we are the owner.
+        if owner == self.node_id:
+            self._store_message(message)
+            return
+        # Loop/hop-budget protection: give up on the owner and climb to the
+        # root (the paper's "value ends up being stored at the root"
+        # fallback path).
+        if message.hops >= self.config.max_data_hops:
+            message.force_base = True
+        if not message.force_base:
+            # Rule 3: shortcut straight to a listed neighbor (if the link
+            # is worth trying).
+            if (
+                owner != from_node
+                and self.tree.in_neighbor_list(owner)
+                and self.linkest.quality(owner) >= self.SHORTCUT_MIN_QUALITY
+            ):
+                self._transmit_data(message, owner, fallback_to_parent=True)
+                return
+        # Rule 4: the basestation never routes data back down.
+        if self.is_root:
+            self._store_message(message)
+            return
+        if not message.force_base:
+            # Rule 5: send down the branch that leads to the owner — unless
+            # that branch is where the packet just came from, in which case
+            # the descendants entry is stale (the owner moved): drop it and
+            # climb instead.
+            next_down = self.tree.next_hop_down(owner)
+            if next_down == from_node and next_down is not None:
+                self.tree.forget_descendant(owner)
+                next_down = None
+            if next_down is not None:
+                self._transmit_data(message, next_down, fallback_to_parent=True)
+                return
+        # Rule 6: send up to the parent.
+        if self.tree.parent is not None:
+            self._transmit_data(message, self.tree.parent, fallback_to_parent=False)
+        else:
+            # Orphaned (tree flap): keep the data rather than lose it.
+            self._store_message(message)
+
+    def _transmit_data(
+        self, message: DataMessage, next_hop: int, fallback_to_parent: bool
+    ) -> None:
+        message.hops += 1
+
+        def done(success: bool) -> None:
+            if success:
+                return
+            if fallback_to_parent and self.tree.parent is not None:
+                # Shortcut/descendant route failed after retries: climb the
+                # tree instead (ends at the owner or, failing that, the root).
+                retry = DataMessage(
+                    readings=message.readings,
+                    owner=message.owner,
+                    sid=message.sid,
+                    hops=message.hops,
+                    force_base=message.force_base,
+                )
+                self._transmit_data(retry, self.tree.parent, fallback_to_parent=False)
+            # else: dropped; shows up as storage loss (paper: ~93% success).
+
+        self.unicast(next_hop, FrameKind.DATA, message, done=done)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def _build_summary(self) -> SummaryMessage:
+        values = self.recent.values()
+        histogram = (
+            Histogram.from_values(values, self.config.n_bins) if values else None
+        )
+        return SummaryMessage(
+            origin=self.node_id,
+            histogram=histogram,
+            min_value=min(values) if values else 0,
+            max_value=max(values) if values else 0,
+            sum_values=sum(values) if values else 0,
+            readings_since_last=self.readings_since_summary,
+            neighbors=tuple(
+                self.linkest.best_neighbors(self.config.summary_neighbors)
+            ),
+            last_sid=self.sid,
+        )
+
+    def _send_summary(self) -> None:
+        if self.is_root:
+            return
+        summary = self._build_summary()
+        self.readings_since_summary = 0
+        if self.tree.parent is None:
+            return  # not joined; try again next interval
+        self.unicast(self.tree.parent, FrameKind.SUMMARY, summary)
+
+    # ------------------------------------------------------------------
+    # Index dissemination plumbing
+    # ------------------------------------------------------------------
+    def _send_advert(self, advert: Advertisement) -> None:
+        self.broadcast(FrameKind.MAPPING, advert)
+
+    def _send_chunk(self, chunk: MappingChunk) -> None:
+        self.broadcast(FrameKind.MAPPING, chunk)
+
+    def _index_complete(self, sid: int, chunks: List[MappingChunk]) -> None:
+        try:
+            index = StorageIndex.from_chunks(self.config.domain, chunks)
+        except ValueError:
+            return  # malformed chunk set; keep the old index (Section 5.3)
+        if self.current_index is None or index.sid > self.current_index.sid:
+            self.current_index = index
+            self.on_new_index(index)
+
+    def on_new_index(self, index: StorageIndex) -> None:
+        """Subclass/observer hook: a new complete index was installed."""
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+    def handle_frame(self, frame: Frame) -> None:
+        kind = frame.kind
+        if kind is FrameKind.DATA:
+            message: DataMessage = frame.payload
+            # Copy before mutating: retransmitted duplicates and snoopers
+            # share the payload object.
+            self.route_data(
+                DataMessage(
+                    readings=list(message.readings),
+                    owner=message.owner,
+                    sid=message.sid,
+                    hops=message.hops,
+                    force_base=message.force_base,
+                ),
+                from_node=frame.src,
+            )
+        elif kind is FrameKind.SUMMARY:
+            if self.is_root:
+                self._ingest_summary(frame)
+            elif self.tree.parent is not None and self.tree.parent != frame.src:
+                # Never bounce a summary straight back where it came from
+                # (transient parent loops).
+                self.forward(frame, self.tree.parent)
+        elif kind is FrameKind.MAPPING:
+            payload = frame.payload
+            if isinstance(payload, Advertisement):
+                self.disseminator.on_advert(payload)
+            else:
+                self.disseminator.on_chunk(payload)
+        elif kind is FrameKind.QUERY:
+            self._handle_query(frame)
+        elif kind is FrameKind.REPLY:
+            if self.is_root:
+                self._ingest_reply(frame)
+            elif self.tree.parent is not None and self.tree.parent != frame.src:
+                self.forward(frame, self.tree.parent)
+
+    def _ingest_summary(self, frame: Frame) -> None:
+        """Root-only; overridden by the basestation."""
+
+    def _ingest_reply(self, frame: Frame) -> None:
+        """Root-only; overridden by the basestation."""
+
+    # ------------------------------------------------------------------
+    # Queries (Section 5.5)
+    # ------------------------------------------------------------------
+
+    def _handle_query(self, frame: Frame) -> None:
+        query: QueryMessage = frame.payload
+        qid = query.query_id
+        first_time = qid not in self._queries_heard
+        self._queries_heard[qid] = self._queries_heard.get(qid, 0) + 1
+        if not first_time:
+            self._note_query_copy_heard(qid)
+            return
+        if self.node_id in query.bitmap:
+            # Stagger the answer: replying the instant the gossip wave
+            # arrives would synchronise every target's reply burst into
+            # hidden-terminal collisions near the root (the paper observes
+            # replies taking "several seconds" to start coming back).
+            self.sim.schedule(
+                self.sim.rng.uniform(0.5, 3.0), self._answer_query, query
+            )
+        if self._should_rebroadcast(query):
+            self._start_query_gossip(query)
+
+    def _should_rebroadcast(self, query: QueryMessage) -> bool:
+        """Selective rebroadcast (Section 5.5).
+
+        A node relays the query when the bitmap intersects its descendants
+        or neighbor lists (it can demonstrably help reach a target), and
+        also when it is a routing-tree interior node — descendants lists go
+        briefly stale after parent switches, so interior nodes must keep
+        the wave moving down the tree or targets behind the staleness
+        window become unreachable. Leaves with no listed target suppress,
+        which is what keeps Scoop's query cost below LOCAL's full flood.
+        """
+        targets = query.bitmap - {self.node_id}
+        if not targets:
+            return False
+        reachable = set(self.tree.descendants()) | set(self.tree.neighbor_list())
+        if targets & reachable:
+            return True
+        if self.config.query_relay_mode == "tree":
+            return len(self.tree.descendants()) > 0
+        return False
+
+    def _start_query_gossip(self, query: QueryMessage) -> None:
+        lo, hi = self.config.query_rebroadcast_delay
+        state = {"round": 0, "heard_this_round": 0}
+        self._query_gossip[query.query_id] = state
+        self.sim.schedule(
+            self.sim.rng.uniform(lo, hi), self._query_gossip_fire, query
+        )
+
+    def _query_gossip_fire(self, query: QueryMessage) -> None:
+        state = self._query_gossip.get(query.query_id)
+        if state is None:
+            return
+        # Trickle-style suppression (k=1): stay quiet this round if any
+        # copy was heard from a neighbor meanwhile.
+        if state["heard_this_round"] < 1:
+            self.broadcast(FrameKind.QUERY, query)
+        state["round"] += 1
+        state["heard_this_round"] = 0
+        if state["round"] >= self.config.query_gossip_rounds:
+            del self._query_gossip[query.query_id]
+            return
+        lo, hi = self.config.query_rebroadcast_delay
+        delay = self.sim.rng.uniform(lo, hi) * (2 ** state["round"]) + 0.25 * state["round"]
+        self.sim.schedule(delay, self._query_gossip_fire, query)
+
+    def _note_query_copy_heard(self, qid: int) -> None:
+        state = self._query_gossip.get(qid)
+        if state is not None:
+            state["heard_this_round"] += 1
+
+    def _answer_query(self, query: QueryMessage) -> None:
+        matches = self.flash.scan(
+            time_range=query.time_range,
+            value_range=query.value_range,
+            predicate=(
+                (lambda r: r.origin in query.node_filter)
+                if query.node_filter is not None
+                else None
+            ),
+        )
+        readings: List[WireReading] = [
+            (r.value, r.timestamp, r.origin) for r in matches
+        ]
+        # "The node then sends a reply—even if no tuples matched the query."
+        fragments: List[List[WireReading]] = [
+            readings[i : i + self.config.batch_size]
+            for i in range(0, len(readings), self.config.batch_size)
+        ] or [[]]
+        total = len(fragments)
+        for number, fragment in enumerate(fragments):
+            reply = ReplyMessage(
+                query_id=query.query_id,
+                origin=self.node_id,
+                readings=fragment,
+                fragment=number,
+                total_fragments=total,
+            )
+            if self.is_root:
+                self._ingest_reply_local(reply)
+            elif self.tree.parent is not None:
+                # Pace fragments out instead of dumping a burst on the MAC.
+                self.sim.schedule(
+                    number * 0.08 + self.sim.rng.uniform(0.0, 0.05),
+                    self.unicast,
+                    self.tree.parent,
+                    FrameKind.REPLY,
+                    reply,
+                )
+
+    def _ingest_reply_local(self, reply: ReplyMessage) -> None:
+        """Root answering its own query locally; overridden by basestation."""

@@ -1,0 +1,258 @@
+"""Basestation statistics: everything the indexing algorithm consumes.
+
+Section 5.2 of the paper describes what the basestation learns and keeps:
+
+* the **last histogram per node** — "the basestation always saves the last
+  histogram it receives from each node, thus allowing it to reason about a
+  node even if newer summary messages are lost" (~40% of summaries are lost
+  in their experiments, so this matters);
+* **every summary ever received** — "the basestation never discards any
+  summary message", enabling historical query planning and summary-based
+  query answering;
+* **network topology**: neighbor link qualities from summary topology
+  lists, plus parent/child relationships observed from Scoop's custom
+  packet header on every packet that reaches the root;
+* **query statistics** (Section 5.5): "for each query it issues, the
+  basestation updates its statistics that keep track of the query rate, and
+  which attributes and what value ranges get queried", yielding
+  ``P(user queries v)`` and the query rate used by the indexing algorithm;
+* **which storage index each node is using**, from the ``last_sid`` field
+  of summaries — needed to decide which indices may be active when planning
+  a historical query.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.messages import SummaryMessage
+
+
+@dataclass
+class NodeRecord:
+    """The basestation's current knowledge about one node."""
+
+    node: int
+    last_summary: Optional[SummaryMessage] = None
+    last_summary_time: float = -1.0
+    summaries_received: int = 0
+    #: EWMA of readings per second.
+    data_rate: float = 0.0
+    #: (report_time, sid) history — which index the node said it was using.
+    sid_history: List[Tuple[float, int]] = field(default_factory=list)
+
+
+class QueryStatistics:
+    """Tracks query rate and per-value query popularity."""
+
+    def __init__(self, domain: ValueDomain):
+        self.domain = domain
+        self._value_counts = np.zeros(domain.size)
+        self.total_queries = 0
+        self.first_query_time: Optional[float] = None
+        self.last_query_time: Optional[float] = None
+
+    def record(
+        self, value_range: Optional[Tuple[int, int]], now: float
+    ) -> None:
+        self.total_queries += 1
+        if self.first_query_time is None:
+            self.first_query_time = now
+        self.last_query_time = now
+        if value_range is None:
+            return
+        lo = max(value_range[0], self.domain.lo)
+        hi = min(value_range[1], self.domain.hi)
+        if hi >= lo:
+            self._value_counts[lo - self.domain.lo : hi - self.domain.lo + 1] += 1.0
+
+    def query_rate(self, now: float) -> float:
+        """Queries per second over the observed query history."""
+        if self.total_queries == 0 or self.first_query_time is None:
+            return 0.0
+        elapsed = max(now - self.first_query_time, 1.0)
+        return self.total_queries / elapsed
+
+    def probability_vector(self) -> np.ndarray:
+        """P(user queries v) for every v in the domain.
+
+        The probability that a given query's range covers value v,
+        estimated from past queries.
+        """
+        if self.total_queries == 0:
+            return np.zeros(self.domain.size)
+        return self._value_counts / self.total_queries
+
+
+class BasestationStatistics:
+    """The complete statistics registry living at the basestation."""
+
+    def __init__(self, config: ScoopConfig):
+        self.config = config
+        self.domain = config.domain
+        self.records: Dict[int, NodeRecord] = {}
+        #: every summary ever received, in arrival order (never discarded).
+        self.summary_history: List[Tuple[float, SummaryMessage]] = []
+        #: directed link quality evidence: (from, to) -> delivery estimate.
+        self.link_quality: Dict[Tuple[int, int], float] = {}
+        #: origin -> (parent, last observation time), from packet headers.
+        self.parents: Dict[int, Tuple[int, float]] = {}
+        self.queries = QueryStatistics(self.domain)
+        self.summaries_lost_guess = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _record(self, node: int) -> NodeRecord:
+        if node not in self.records:
+            self.records[node] = NodeRecord(node=node)
+        return self.records[node]
+
+    def ingest_summary(self, summary: SummaryMessage, now: float) -> None:
+        record = self._record(summary.origin)
+        if record.last_summary_time >= 0:
+            interval = max(now - record.last_summary_time, 1e-6)
+            instantaneous = summary.readings_since_last / interval
+            record.data_rate = (
+                0.5 * record.data_rate + 0.5 * instantaneous
+                if record.data_rate > 0
+                else instantaneous
+            )
+        else:
+            # First summary: assume the configured sample rate until the
+            # next one arrives.
+            record.data_rate = (
+                summary.readings_since_last / self.config.summary_interval
+                if summary.readings_since_last
+                else 1.0 / self.config.sample_interval
+            )
+        record.last_summary = summary
+        record.last_summary_time = now
+        record.summaries_received += 1
+        record.sid_history.append((now, summary.last_sid))
+        self.summary_history.append((now, summary))
+        # Topology: the summary lists origin's best inbound neighbors, i.e.
+        # delivery estimates for links (neighbor -> origin).
+        for neighbor, quality in summary.neighbors:
+            self.link_quality[(neighbor, summary.origin)] = quality
+
+    def observe_packet_header(
+        self, origin: int, origin_parent: Optional[int], now: float
+    ) -> None:
+        """Every packet reaching the root reveals (origin, origin's parent)."""
+        if origin_parent is not None and origin_parent != origin:
+            self.parents[origin] = (origin_parent, now)
+
+    def record_query(self, value_range: Optional[Tuple[int, int]], now: float) -> None:
+        self.queries.record(value_range, now)
+
+    # ------------------------------------------------------------------
+    # Views for the indexing algorithm
+    # ------------------------------------------------------------------
+    def known_nodes(self) -> List[int]:
+        """Nodes the basestation has evidence about (plus itself)."""
+        nodes: Set[int] = {self.config.basestation_id}
+        nodes.update(self.records.keys())
+        for child, (parent, _when) in self.parents.items():
+            nodes.add(child)
+            nodes.add(parent)
+        for a, b in self.link_quality:
+            nodes.add(a)
+            nodes.add(b)
+        return sorted(nodes)
+
+    def producer_nodes(self) -> List[int]:
+        """Nodes with a usable histogram (the p's of the algorithm)."""
+        return sorted(
+            node
+            for node, record in self.records.items()
+            if record.last_summary is not None
+            and record.last_summary.histogram is not None
+        )
+
+    def production_matrix(self, producers: Sequence[int]) -> np.ndarray:
+        """Rows of P(p -> v) over the whole domain, one per producer."""
+        matrix = np.zeros((len(producers), self.domain.size))
+        for row, node in enumerate(producers):
+            summary = self.records[node].last_summary
+            if summary is not None and summary.histogram is not None:
+                matrix[row] = summary.histogram.probability_vector(
+                    self.domain.lo, self.domain.hi
+                )
+        return matrix
+
+    def rate_vector(self, producers: Sequence[int]) -> np.ndarray:
+        return np.array([self.records[node].data_rate for node in producers])
+
+    # ------------------------------------------------------------------
+    # Historical index usage (query planning, Section 5.5)
+    # ------------------------------------------------------------------
+    def sids_in_use(self, t_lo: float, t_hi: float) -> Set[int]:
+        """Index IDs some node may have been using during [t_lo, t_hi].
+
+        A node's reports bracket the window: the last sid reported at or
+        before t_hi could have been in use, and so could any sid reported
+        within the window itself. Includes -1 when a node had no complete
+        index yet (it was storing locally).
+        """
+        in_use: Set[int] = set()
+        for record in self.records.values():
+            last_before: Optional[int] = None
+            for time, sid in record.sid_history:
+                if time <= t_lo:
+                    last_before = sid
+                elif time <= t_hi + self.config.summary_interval:
+                    in_use.add(sid)
+            if last_before is not None:
+                in_use.add(last_before)
+            if not record.sid_history:
+                in_use.add(-1)
+        if not self.records:
+            in_use.add(-1)
+        return in_use
+
+    def nodes_possibly_storing_locally(
+        self, value_range: Optional[Tuple[int, int]], t_lo: float, t_hi: float
+    ) -> Set[int]:
+        """Nodes that may hold matching data *locally* during the window
+        because they had no complete index (last_sid == -1).
+
+        Their summaries' [min, max] bound what they produce, so nodes whose
+        recent range cannot overlap the query are excluded.
+        """
+        out: Set[int] = set()
+        for node, record in self.records.items():
+            reported = [
+                sid
+                for time, sid in record.sid_history
+                if time <= t_hi + self.config.summary_interval
+            ]
+            if reported and all(sid >= 0 for sid in reported[-2:]):
+                continue  # had an index throughout the window
+            summary = record.last_summary
+            if value_range is not None and summary is not None:
+                if summary.max_value < value_range[0] or summary.min_value > value_range[1]:
+                    continue
+            out.add(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # Summary-based query answering (Section 5.5 optimization)
+    # ------------------------------------------------------------------
+    def max_value_seen(self, since: float = 0.0) -> Optional[int]:
+        """Answer MAX(attr) from summaries, costing no network traffic."""
+        candidates = [
+            s.max_value for t, s in self.summary_history if t >= since
+        ]
+        return max(candidates) if candidates else None
+
+    def min_value_seen(self, since: float = 0.0) -> Optional[int]:
+        candidates = [
+            s.min_value for t, s in self.summary_history if t >= since
+        ]
+        return min(candidates) if candidates else None

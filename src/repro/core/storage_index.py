@@ -1,0 +1,223 @@
+"""The storage index: a value -> owner-node mapping (Section 4, Figure 1).
+
+A storage index tells every node where each attribute value must be stored
+during the index's activity period. This module covers the data structure
+and its wire representation:
+
+* **compaction** — "the storage index is compacted by coalescing
+  consecutive values that map to the same node into a single value range to
+  node mapping" (Section 5.3);
+* **chunking** — the compacted ranges are split into
+  :class:`~repro.core.messages.MappingChunk` packets for Trickle
+  dissemination, and reassembled on the other side;
+* **similarity** — the fraction of the domain mapped identically by two
+  indices, which the basestation uses to suppress re-dissemination of
+  near-identical indices;
+* the **owner-set extension** (Section 4, Extensions): a value may map to a
+  small set of candidate owners; producers pick the nearest.
+
+Index IDs (``sid``) are issued monotonically by the basestation; nodes only
+ever *use* a complete index, falling back to their previous complete one
+while chunks of a newer index trickle in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import ValueDomain
+from repro.core.messages import MAX_ENTRIES_PER_CHUNK, MappingChunk
+
+#: Sentinel owner meaning "every producer stores this value locally".
+#: Used when the basestation's store-local fallback (Section 4) wins the
+#: cost comparison: the disseminated index maps the whole domain to this
+#: pseudo-node and nodes keep their own readings.
+STORE_LOCAL = -2
+
+
+@dataclass(frozen=True)
+class RangeEntry:
+    """One compacted mapping row: values in [lo, hi] belong to ``owners``."""
+
+    lo: int
+    hi: int
+    owners: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+        if not self.owners:
+            raise ValueError("range entry needs at least one owner")
+
+
+class StorageIndex:
+    """An immutable value -> owner(s) mapping for one attribute."""
+
+    def __init__(
+        self,
+        sid: int,
+        domain: ValueDomain,
+        owners: Sequence[Tuple[int, ...]],
+    ):
+        if len(owners) != domain.size:
+            raise ValueError(
+                f"owners list has {len(owners)} entries for a domain of "
+                f"{domain.size} values"
+            )
+        for owner_set in owners:
+            if not owner_set:
+                raise ValueError("every value needs at least one owner")
+        self.sid = sid
+        self.domain = domain
+        self._owners: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(o) for o in owners
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_owner(
+        cls, sid: int, domain: ValueDomain, owner_by_value: Sequence[int]
+    ) -> "StorageIndex":
+        return cls(sid, domain, [(o,) for o in owner_by_value])
+
+    @classmethod
+    def uniform(cls, sid: int, domain: ValueDomain, owner: int) -> "StorageIndex":
+        """Every value mapped to one node (owner=0 gives send-to-base)."""
+        return cls(sid, domain, [(owner,)] * domain.size)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def owners_of(self, value: int) -> Tuple[int, ...]:
+        return self._owners[self.domain.index_of(value)]
+
+    def owner_of(self, value: int) -> int:
+        """Primary owner (first of the owner set)."""
+        return self.owners_of(value)[0]
+
+    def all_owners(self) -> frozenset:
+        return frozenset(o for owner_set in self._owners for o in owner_set)
+
+    def values_owned_by(self, node: int) -> List[int]:
+        return [
+            self.domain.lo + i
+            for i, owner_set in enumerate(self._owners)
+            if node in owner_set
+        ]
+
+    def owners_for_range(self, lo: int, hi: int) -> frozenset:
+        """Every node owning any value in [lo, hi] ∩ domain."""
+        lo = max(lo, self.domain.lo)
+        hi = min(hi, self.domain.hi)
+        found = set()
+        for v in range(lo, hi + 1):
+            found.update(self.owners_of(v))
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # Compaction / chunking (wire format)
+    # ------------------------------------------------------------------
+    def compact(self) -> List[RangeEntry]:
+        """Coalesce consecutive values with identical owner sets."""
+        entries: List[RangeEntry] = []
+        start = self.domain.lo
+        current = self._owners[0]
+        for i in range(1, self.domain.size):
+            if self._owners[i] != current:
+                entries.append(
+                    RangeEntry(lo=start, hi=self.domain.lo + i - 1, owners=current)
+                )
+                start = self.domain.lo + i
+                current = self._owners[i]
+        entries.append(RangeEntry(lo=start, hi=self.domain.hi, owners=current))
+        return entries
+
+    def to_chunks(
+        self, max_entries: int = MAX_ENTRIES_PER_CHUNK
+    ) -> List[MappingChunk]:
+        """Split the compacted index into dissemination chunks.
+
+        Owner sets are flattened into one wire entry per (range, owner)
+        pair, the same 5-byte row as the single-owner format.
+        """
+        rows: List[Tuple[int, int, int]] = []
+        for entry in self.compact():
+            for owner in entry.owners:
+                rows.append((entry.lo, entry.hi, owner))
+        total = max(1, (len(rows) + max_entries - 1) // max_entries)
+        chunks = []
+        for k in range(total):
+            chunk_rows = tuple(rows[k * max_entries : (k + 1) * max_entries])
+            chunks.append(
+                MappingChunk(sid=self.sid, index=k, total=total, entries=chunk_rows)
+            )
+        return chunks
+
+    @classmethod
+    def from_chunks(
+        cls, domain: ValueDomain, chunks: Iterable[MappingChunk]
+    ) -> "StorageIndex":
+        """Reassemble an index from a complete chunk set.
+
+        Raises ``ValueError`` on missing/duplicate chunks, mixed sids, or
+        incomplete domain coverage — nodes must never act on a partial
+        index (Section 5.3).
+        """
+        chunk_list = sorted(chunks, key=lambda c: c.index)
+        if not chunk_list:
+            raise ValueError("no chunks")
+        sid = chunk_list[0].sid
+        total = chunk_list[0].total
+        if any(c.sid != sid or c.total != total for c in chunk_list):
+            raise ValueError("chunks from different indices")
+        if [c.index for c in chunk_list] != list(range(total)):
+            raise ValueError("missing or duplicate chunks")
+        owner_sets: List[List[int]] = [[] for _ in range(domain.size)]
+        for chunk in chunk_list:
+            for lo, hi, owner in chunk.entries:
+                if lo < domain.lo or hi > domain.hi:
+                    raise ValueError(f"range [{lo},{hi}] outside domain")
+                for v in range(lo, hi + 1):
+                    if owner not in owner_sets[v - domain.lo]:
+                        owner_sets[v - domain.lo].append(owner)
+        if any(not owners for owners in owner_sets):
+            raise ValueError("chunk set does not cover the whole domain")
+        return cls(sid, domain, [tuple(o) for o in owner_sets])
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def similarity(self, other: "StorageIndex") -> float:
+        """Fraction of domain values mapped to identical owner sets."""
+        if other.domain != self.domain:
+            return 0.0
+        same = sum(
+            1
+            for a, b in zip(self._owners, other._owners)
+            if frozenset(a) == frozenset(b)
+        )
+        return same / self.domain.size
+
+    def is_send_to_base(self, base_id: int = 0) -> bool:
+        """True if this index degenerates into the send-to-base policy."""
+        return all(owner_set == (base_id,) for owner_set in self._owners)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StorageIndex)
+            and self.sid == other.sid
+            and self.domain == other.domain
+            and self._owners == other._owners
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sid, self.domain, self._owners))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StorageIndex(sid={self.sid}, domain=[{self.domain.lo},"
+            f"{self.domain.hi}], ranges={len(self.compact())})"
+        )

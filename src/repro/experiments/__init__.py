@@ -1,0 +1,21 @@
+"""Experiment harness: runner, named scenarios, and report rendering."""
+
+from repro.experiments.runner import (
+    POLICIES,
+    ExperimentResult,
+    ExperimentSpec,
+    build_topology,
+    run_experiment,
+    run_hash_analytical,
+    scale_spec,
+)
+
+__all__ = [
+    "POLICIES",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "build_topology",
+    "run_experiment",
+    "run_hash_analytical",
+    "scale_spec",
+]

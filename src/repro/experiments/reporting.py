@@ -1,0 +1,73 @@
+"""Text rendering of experiment results in the paper's format.
+
+The benchmarks print these tables so a run of ``pytest benchmarks/``
+regenerates the same rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+#: Figure 3's stacked-bar categories, in the paper's legend order.
+CATEGORIES = ("data", "summary", "mapping", "query/reply")
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Align a list of rows under headers, monospace-table style."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def breakdown_row(result: ExperimentResult) -> List[object]:
+    """One stacked-bar row: policy/workload plus per-category counts."""
+    label = f"{result.policy}/{result.workload}"
+    cells: List[object] = [label]
+    for category in CATEGORIES:
+        cells.append(int(result.breakdown.get(category, 0)))
+    cells.append(int(result.total_messages))
+    return cells
+
+
+def breakdown_table(results: Sequence[ExperimentResult], title: str) -> str:
+    headers = ["system/source", *CATEGORIES, "total"]
+    return format_table(headers, [breakdown_row(r) for r in results], title=title)
+
+
+def series_table(
+    x_label: str,
+    series: Dict[str, List[float]],
+    x_values: Sequence[object],
+    title: str,
+    y_label: str = "messages",
+) -> str:
+    """A figure-4/5 style table: one row per x value, one column per policy."""
+    headers = [x_label] + [f"{name} ({y_label})" for name in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [int(series[name][i]) for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def rates_table(result: ExperimentResult, title: str) -> str:
+    headers = ["metric", "measured", "paper"]
+    rows = [
+        ["data stored successfully", f"{result.storage_success_rate:.0%}", "~93%"],
+        ["stored at mapped owner", f"{result.owner_hit_rate:.0%}", "~85%"],
+        ["query results retrieved", f"{result.query_reply_rate:.0%}", "~78%"],
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,281 @@
+"""End-to-end experiment runner: policy × workload × parameters → counts.
+
+This is the reproduction's equivalent of the paper's testbed/TOSSIM driver:
+it wires a topology, a storage policy (SCOOP, LOCAL, BASE, or simulated
+HASH), a data workload and a query stream into one
+:class:`~repro.sim.network.Network`, runs the paper's timeline (boot →
+10-minute stabilization → 40-minute measured phase), and returns the
+message census broken down into the paper's categories plus the delivery
+and energy statistics the text reports.
+
+The analytical HASH evaluation (the paper's own methodology for that
+baseline) is exposed as :func:`run_hash_analytical`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.hash_static import (
+    AnalyticalHashModel,
+    HashBasestation,
+    HashNode,
+    build_hash_index,
+)
+from repro.baselines.local import LocalBasestation, LocalNode
+from repro.baselines.send_base import SendToBaseBasestation, SendToBaseNode
+from repro.core.basestation import Basestation
+from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.node import ScoopNode
+from repro.core.query import QueryResult
+from repro.sim.network import Network
+from repro.sim.packets import FrameKind
+from repro.sim.topology import Topology, indoor_testbed, random_geometric
+from repro.workloads import Workload, make_workload
+from repro.workloads.queries import QueryGenerator, QueryPlanConfig
+
+#: The storage policies of the paper's experiments (Section 6 table).
+POLICIES = ("scoop", "local", "base", "hash")
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything that defines one trial."""
+
+    policy: str = "scoop"
+    workload: str = "real"
+    scoop: ScoopConfig = field(default_factory=ScoopConfig)
+    query_plan: QueryPlanConfig = field(default_factory=QueryPlanConfig)
+    seed: int = 0
+    #: "testbed" (the 62+1 indoor layout) or "geometric" (the simulated
+    #: topology profile); or pass an explicit topology to run_experiment.
+    topology_kind: str = "testbed"
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; one of {POLICIES}")
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one trial, in the paper's terms."""
+
+    spec: ExperimentSpec
+    #: Figure 3 categories: data / summary / mapping / "query/reply".
+    breakdown: Dict[str, float]
+    #: total messages sent (the paper's cost metric).
+    total_messages: float
+    #: E6 statistics.
+    storage_success_rate: float = 0.0
+    owner_hit_rate: float = 0.0
+    query_reply_rate: float = 0.0
+    #: E7 statistics (root = node 0).
+    root_sent: int = 0
+    root_received: int = 0
+    mean_node_energy_j: float = 0.0
+    root_energy_j: float = 0.0
+    #: workload volume for sanity checks.
+    readings_produced: int = 0
+    queries_issued: int = 0
+    #: SCOOP diagnostics.
+    remaps_run: int = 0
+    remaps_suppressed: int = 0
+    indices_disseminated: int = 0
+    mean_nodes_targeted: float = 0.0
+    analytical: bool = False
+
+    @property
+    def policy(self) -> str:
+        return self.spec.policy
+
+    @property
+    def workload(self) -> str:
+        return self.spec.workload
+
+
+def scale_spec(spec: ExperimentSpec, factor: float) -> ExperimentSpec:
+    """Shrink the experiment timeline by ``factor`` for quick runs.
+
+    Durations shrink; rates (sample/query/summary/remap intervals) are kept
+    so per-second dynamics are untouched — only fewer of everything
+    happens. Message *ratios* between policies are preserved, which is what
+    the figures compare.
+    """
+    if factor >= 0.999:
+        return spec
+    scoop = dataclasses.replace(
+        spec.scoop,
+        duration=max(300.0, spec.scoop.duration * factor),
+        stabilization=max(240.0, spec.scoop.stabilization * factor),
+    )
+    return dataclasses.replace(spec, scoop=scoop)
+
+
+def build_topology(spec: ExperimentSpec) -> Topology:
+    if spec.topology_kind == "testbed":
+        return indoor_testbed(spec.scoop.n_nodes, seed=spec.seed + 7)
+    if spec.topology_kind == "geometric":
+        return random_geometric(spec.scoop.n_nodes, seed=spec.seed + 7)
+    raise ValueError(f"unknown topology kind {spec.topology_kind!r}")
+
+
+def _build_motes(
+    spec: ExperimentSpec, net: Network, workload: Workload
+) -> Tuple[Basestation, List[ScoopNode]]:
+    config = spec.scoop
+    source = workload.as_data_source()
+    common = dict(config=config, tracker=net.tracker, energy=net.energy)
+    if spec.policy == "scoop":
+        base = Basestation(net.sim, net.radio, **common)
+        nodes = [
+            ScoopNode(i, net.sim, net.radio, data_source=source, **common)
+            for i in config.sensor_ids
+        ]
+    elif spec.policy == "local":
+        base = LocalBasestation(net.sim, net.radio, **common)
+        nodes = [
+            LocalNode(i, net.sim, net.radio, data_source=source, **common)
+            for i in config.sensor_ids
+        ]
+    elif spec.policy == "base":
+        base = SendToBaseBasestation(net.sim, net.radio, **common)
+        nodes = [
+            SendToBaseNode(i, net.sim, net.radio, data_source=source, **common)
+            for i in config.sensor_ids
+        ]
+    elif spec.policy == "hash":
+        index = build_hash_index(config, salt=spec.seed)
+        base = HashBasestation(net.sim, net.radio, hash_index=index, **common)
+        nodes = [
+            HashNode(
+                i, net.sim, net.radio, data_source=source, hash_index=index, **common
+            )
+            for i in config.sensor_ids
+        ]
+    else:  # pragma: no cover - guarded by ExperimentSpec
+        raise ValueError(spec.policy)
+    net.add_mote(base)
+    for node in nodes:
+        net.add_mote(node)
+    return base, nodes
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    topology: Optional[Topology] = None,
+    on_query_result: Optional[Callable[[QueryResult], None]] = None,
+) -> ExperimentResult:
+    """Run one full trial and collect the paper's measurements."""
+    config = spec.scoop
+    topo = topology if topology is not None else build_topology(spec)
+    if topo.n != config.n_nodes:
+        raise ValueError(
+            f"topology has {topo.n} nodes but config expects {config.n_nodes}"
+        )
+    net = Network(topo, seed=spec.seed)
+    workload = make_workload(
+        spec.workload,
+        config.domain,
+        config.n_nodes,
+        seed=spec.seed,
+        positions=topo.positions,
+    )
+    base, nodes = _build_motes(spec, net, workload)
+
+    # Phase 1: boot and stabilize the routing tree (paper: 10 minutes of
+    # heartbeats before sampling starts).
+    net.boot_all(within=config.beacon_interval)
+    net.run(config.stabilization)
+
+    # Phase 2: the measured workload.
+    for node in nodes:
+        node.start_sampling()
+    base.start_scoop()
+
+    generator = QueryGenerator(
+        spec.query_plan,
+        config.domain,
+        list(config.sensor_ids),
+        rng=net.sim.rng,
+    )
+    queries_issued = 0
+
+    def query_tick() -> None:
+        nonlocal queries_issued
+        if net.sim.now >= config.stabilization + config.duration:
+            return
+        result = base.issue_query(generator.next_query(net.sim.now))
+        queries_issued += 1
+        if on_query_result is not None:
+            on_query_result(result)
+        net.sim.schedule(config.query_interval, query_tick)
+
+    net.sim.schedule(config.query_interval, query_tick)
+    net.run(config.stabilization + config.duration)
+
+    # Phase 3: drain — flush batches, let in-flight frames land.
+    for node in nodes:
+        node.stop_sampling()
+    net.run(net.sim.now + config.query_reply_window + 5.0)
+
+    return _collect(spec, net, base, queries_issued)
+
+
+def _collect(
+    spec: ExperimentSpec, net: Network, base: Basestation, queries_issued: int
+) -> ExperimentResult:
+    census = net.census
+    tracker = net.tracker
+    root = spec.scoop.basestation_id
+    targeted = [len(q.nodes_targeted) for q in base.query_log]
+    return ExperimentResult(
+        spec=spec,
+        breakdown=census.breakdown(),
+        total_messages=census.total_sent(),
+        storage_success_rate=tracker.storage_success_rate(),
+        owner_hit_rate=tracker.owner_hit_rate(),
+        query_reply_rate=tracker.query_reply_rate(),
+        root_sent=census.node_sent(root),
+        root_received=census.node_received(root),
+        mean_node_energy_j=net.energy.mean_node_j(exclude=(root,)),
+        root_energy_j=net.energy.node_energy(root).total_j,
+        readings_produced=len(tracker.readings),
+        queries_issued=queries_issued,
+        remaps_run=getattr(base, "remaps_run", 0),
+        remaps_suppressed=getattr(base, "remaps_suppressed", 0),
+        indices_disseminated=len(base.index_history),
+        mean_nodes_targeted=(sum(targeted) / len(targeted)) if targeted else 0.0,
+    )
+
+
+def run_hash_analytical(
+    spec: ExperimentSpec, topology: Optional[Topology] = None
+) -> ExperimentResult:
+    """The paper's analytical HASH evaluation over the same workload."""
+    config = spec.scoop
+    topo = topology if topology is not None else build_topology(spec)
+    workload = make_workload(
+        spec.workload,
+        config.domain,
+        config.n_nodes,
+        seed=spec.seed,
+        positions=topo.positions,
+    )
+    model = AnalyticalHashModel(topo, config, salt=spec.seed)
+    estimate = model.estimate(
+        workload, spec.query_plan, config.duration, seed=spec.seed
+    )
+    spec_out = dataclasses.replace(spec, policy="hash")
+    n_queries = int(config.duration / config.query_interval)
+    n_samples = (config.n_nodes - 1) * int(config.duration / config.sample_interval)
+    return ExperimentResult(
+        spec=spec_out,
+        breakdown=estimate.breakdown(),
+        total_messages=estimate.total,
+        readings_produced=n_samples,
+        queries_issued=n_queries,
+        analytical=True,
+    )

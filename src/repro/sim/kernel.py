@@ -1,0 +1,213 @@
+"""Discrete-event simulation kernel.
+
+This module is the bottom-most substrate of the reproduction: a small,
+deterministic discrete-event scheduler in the style of TOSSIM's event queue.
+Every other simulated component (radio, timers, protocol state machines)
+schedules callbacks through a :class:`Simulator` instance.
+
+Determinism rules:
+
+* Events firing at the same timestamp run in the order they were scheduled
+  (a monotonically increasing sequence number breaks ties).
+* All randomness used by simulated components must come from
+  :attr:`Simulator.rng`, which is seeded at construction, so a run is a pure
+  function of ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used inconsistently (e.g. past scheduling)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry. Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Allows the caller to cancel a pending event. Cancelling an event that
+    already fired (or was already cancelled) is a no-op.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A deterministic discrete-event simulator clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random number generator. Components
+        must draw randomness only from :attr:`rng`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        self.seed = seed
+        #: number of events executed so far (diagnostic)
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, current time is {self._now:.6f}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if the queue was empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float) -> None:
+        """Run events in timestamp order until the clock reaches ``until``.
+
+        The clock is left exactly at ``until`` even if the queue drains
+        early, so back-to-back ``run`` calls advance monotonically.
+        """
+        if until < self._now:
+            raise SimulationError(f"cannot run backwards to {until}")
+        self._running = True
+        try:
+            while self._heap:
+                next_time = self.peek_time()
+                if next_time is None or next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = max(self._now, until)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the event queue completely (with a runaway guard)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError("run_until_idle exceeded max_events; runaway loop?")
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Timer:
+    """A restartable one-shot or periodic timer bound to a :class:`Simulator`.
+
+    The callback fires with no arguments. Periodic timers may apply a
+    uniform jitter fraction to de-synchronize simulated nodes, matching the
+    behaviour of real motes whose clocks drift.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], None],
+        interval: Optional[float] = None,
+        periodic: bool = False,
+        jitter: float = 0.0,
+    ):
+        if periodic and interval is None:
+            raise SimulationError("periodic timer needs an interval")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError(f"jitter must be in [0, 1), got {jitter}")
+        self._sim = sim
+        self._callback = callback
+        self._interval = interval
+        self._periodic = periodic
+        self._jitter = jitter
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def _next_delay(self, base: float) -> float:
+        if self._jitter <= 0.0:
+            return base
+        spread = base * self._jitter
+        return base + self._sim.rng.uniform(-spread, spread)
+
+    def start(self, delay: Optional[float] = None) -> None:
+        """(Re)start the timer; ``delay`` overrides the configured interval
+        for the first firing only."""
+        self.stop()
+        first = delay if delay is not None else self._interval
+        if first is None:
+            raise SimulationError("timer started without a delay or interval")
+        self._handle = self._sim.schedule(max(0.0, self._next_delay(first)), self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        if self._periodic and self._interval is not None:
+            self._handle = self._sim.schedule(
+                max(0.0, self._next_delay(self._interval)), self._fire
+            )
+        self._callback()

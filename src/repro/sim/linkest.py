@@ -1,0 +1,130 @@
+"""Snooping-based link-quality estimation.
+
+Per Section 5.2 of the paper: "A node establishes link-quality from its
+neighbors by snooping the network and, per neighbor, counting the number of
+packets it did not receive using a monotonically increasing number that all
+nodes put in the header of all their outgoing packets."
+
+Every frame a node hears (addressed to it or snooped) carries the sender's
+sequence number; gaps in the sequence are missed packets. The estimator
+keeps a windowed reception-rate estimate per heard neighbor, evicts
+neighbors not heard from "for a long time" (Section 5.1), and caps the table
+at the paper's 32 entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class _NeighborRecord:
+    last_seqno: int
+    received: float = 1.0
+    missed: float = 0.0
+    last_heard: float = 0.0
+
+    def quality(self) -> float:
+        total = self.received + self.missed
+        return self.received / total if total > 0 else 0.0
+
+
+class LinkEstimator:
+    """Inbound link-quality table for one node.
+
+    Parameters
+    ----------
+    max_neighbors:
+        Table capacity (paper: 32); the worst-quality entry is evicted when
+        a new neighbor is heard while full.
+    silence_timeout:
+        Seconds of not hearing a neighbor after which it is dropped.
+    decay:
+        Multiplicative decay applied to the (received, missed) window when a
+        new packet arrives, giving an exponentially weighted estimate that
+        adapts to changing conditions.
+    """
+
+    def __init__(
+        self,
+        max_neighbors: int = 32,
+        silence_timeout: float = 300.0,
+        decay: float = 0.98,
+    ):
+        self.max_neighbors = max_neighbors
+        self.silence_timeout = silence_timeout
+        self.decay = decay
+        self._table: Dict[int, _NeighborRecord] = {}
+
+    def hear(self, neighbor: int, seqno: int, now: float) -> None:
+        """Record a successfully heard frame from ``neighbor``."""
+        record = self._table.get(neighbor)
+        if record is None:
+            self._maybe_evict(now)
+            self._table[neighbor] = _NeighborRecord(last_seqno=seqno, last_heard=now)
+            return
+        gap = seqno - record.last_seqno - 1
+        record.received *= self.decay
+        record.missed *= self.decay
+        record.received += 1.0
+        if gap > 0:
+            record.missed += gap
+        record.last_seqno = max(record.last_seqno, seqno)
+        record.last_heard = now
+
+    def _maybe_evict(self, now: float) -> None:
+        self.expire(now)
+        if len(self._table) < self.max_neighbors:
+            return
+        worst = min(self._table, key=lambda nbr: self._table[nbr].quality())
+        del self._table[worst]
+
+    def expire(self, now: float) -> None:
+        """Drop neighbors not heard within the silence timeout."""
+        stale = [
+            nbr
+            for nbr, rec in self._table.items()
+            if now - rec.last_heard > self.silence_timeout
+        ]
+        for nbr in stale:
+            del self._table[nbr]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def knows(self, neighbor: int) -> bool:
+        return neighbor in self._table
+
+    def quality(self, neighbor: int) -> float:
+        """Estimated inbound delivery rate from ``neighbor`` (0 if unknown)."""
+        record = self._table.get(neighbor)
+        return record.quality() if record is not None else 0.0
+
+    def etx(self, neighbor: int) -> float:
+        """Expected transmissions for one hop from/to ``neighbor``.
+
+        Only the inbound rate is observable by snooping; it is used as a
+        symmetric proxy (squared, since a successful acknowledged hop needs
+        both the frame and the ACK to get through).
+        """
+        q = self.quality(neighbor)
+        if q <= 0.0:
+            return float("inf")
+        return 1.0 / (q * q)
+
+    def neighbors(self) -> List[int]:
+        return list(self._table.keys())
+
+    def best_neighbors(self, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` best-quality neighbors as (id, quality), sorted
+        descending — the list shipped in summary messages (paper: 12)."""
+        ranked = sorted(
+            ((nbr, rec.quality()) for nbr, rec in self._table.items()),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:k]
+
+    def __len__(self) -> int:
+        return len(self._table)

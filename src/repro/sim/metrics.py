@@ -1,0 +1,204 @@
+"""Message-count accounting: the paper's cost metric.
+
+Section 6 of the paper: "our cost metric is the total number of messages the
+nodes collectively send", broken down into data, summary, mapping, and
+query/reply messages (Figure 3). :class:`MessageCensus` records every radio
+transmission by node and :class:`~repro.sim.packets.FrameKind`, including
+retransmissions (a retransmission is a message a node sends).
+
+Routing-tree beacons and link-layer ACKs exist identically in every storage
+scheme and are not part of the paper's reported counts; they are tracked in
+separate buckets so they can still be inspected.
+
+:class:`DeliveryTracker` records end-to-end outcomes (was a produced reading
+eventually stored? at its mapped owner or at the root? did a query reply
+make it back?) used by the loss-rate experiment (E6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.packets import COST_KINDS, Frame, FrameKind
+
+
+class MessageCensus:
+    """Per-node, per-kind transmission and reception counters."""
+
+    def __init__(self) -> None:
+        self.sent: Dict[int, Dict[FrameKind, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.received: Dict[int, Dict[FrameKind, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.sent_bits: Dict[int, int] = defaultdict(int)
+        self.received_bits: Dict[int, int] = defaultdict(int)
+
+    # -- recording hooks (wired to the radio) ---------------------------
+    def record_transmit(self, node: int, frame: Frame) -> None:
+        self.sent[node][frame.kind] += 1
+        self.sent_bits[node] += frame.size_bits()
+
+    def record_delivery(self, sender: int, receiver: int, frame: Frame) -> None:
+        self.received[receiver][frame.kind] += 1
+        self.received_bits[receiver] += frame.size_bits()
+
+    # -- aggregate views -------------------------------------------------
+    def total_sent(self, kinds: Optional[Iterable[FrameKind]] = None) -> int:
+        """Total messages sent network-wide, default = the paper's metric."""
+        wanted = tuple(kinds) if kinds is not None else COST_KINDS
+        return sum(
+            count
+            for per_node in self.sent.values()
+            for kind, count in per_node.items()
+            if kind in wanted
+        )
+
+    def sent_by_kind(self) -> Dict[FrameKind, int]:
+        out: Dict[FrameKind, int] = defaultdict(int)
+        for per_node in self.sent.values():
+            for kind, count in per_node.items():
+                out[kind] += count
+        return dict(out)
+
+    def received_by_kind(self) -> Dict[FrameKind, int]:
+        out: Dict[FrameKind, int] = defaultdict(int)
+        for per_node in self.received.values():
+            for kind, count in per_node.items():
+                out[kind] += count
+        return dict(out)
+
+    def node_sent(self, node: int, kinds: Optional[Iterable[FrameKind]] = None) -> int:
+        wanted = tuple(kinds) if kinds is not None else COST_KINDS
+        return sum(c for k, c in self.sent[node].items() if k in wanted)
+
+    def node_received(
+        self, node: int, kinds: Optional[Iterable[FrameKind]] = None
+    ) -> int:
+        wanted = tuple(kinds) if kinds is not None else COST_KINDS
+        return sum(c for k, c in self.received[node].items() if k in wanted)
+
+    def breakdown(self) -> Dict[str, int]:
+        """The paper's Figure 3 categories (query and reply merged)."""
+        by_kind = self.sent_by_kind()
+        return {
+            "data": by_kind.get(FrameKind.DATA, 0),
+            "summary": by_kind.get(FrameKind.SUMMARY, 0),
+            "mapping": by_kind.get(FrameKind.MAPPING, 0),
+            "query/reply": by_kind.get(FrameKind.QUERY, 0)
+            + by_kind.get(FrameKind.REPLY, 0),
+        }
+
+    def skew(self) -> float:
+        """Max over nodes of sent+received, divided by the mean (load skew)."""
+        nodes = set(self.sent) | set(self.received)
+        if not nodes:
+            return 0.0
+        loads = [self.node_sent(n) + self.node_received(n) for n in nodes]
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 0.0
+
+
+@dataclass
+class ReadingOutcome:
+    """End-to-end fate of one produced sensor reading."""
+
+    producer: int
+    value: int
+    produced_at: float
+    intended_owner: Optional[int] = None
+    stored_at: Optional[int] = None
+    stored_time: Optional[float] = None
+
+    @property
+    def stored(self) -> bool:
+        return self.stored_at is not None
+
+    @property
+    def stored_at_owner(self) -> bool:
+        return self.stored and self.stored_at == self.intended_owner
+
+
+@dataclass
+class QueryOutcome:
+    """End-to-end fate of one issued query."""
+
+    query_id: int
+    issued_at: float
+    nodes_targeted: int = 0
+    replies_received: int = 0
+    tuples_expected: int = 0
+    tuples_returned: int = 0
+    answered_from_summaries: bool = False
+
+
+class DeliveryTracker:
+    """End-to-end success accounting for readings and queries (exp E6)."""
+
+    def __init__(self) -> None:
+        self.readings: List[ReadingOutcome] = []
+        self._open: Dict[Tuple[int, int, float], ReadingOutcome] = {}
+        self.queries: Dict[int, QueryOutcome] = {}
+
+    # -- readings --------------------------------------------------------
+    def reading_produced(
+        self, producer: int, value: int, time: float, intended_owner: Optional[int]
+    ) -> ReadingOutcome:
+        outcome = ReadingOutcome(
+            producer=producer,
+            value=value,
+            produced_at=time,
+            intended_owner=intended_owner,
+        )
+        self.readings.append(outcome)
+        self._open[(producer, value, time)] = outcome
+        return outcome
+
+    def reading_stored(
+        self, producer: int, value: int, produced_at: float, stored_at: int, time: float
+    ) -> None:
+        outcome = self._open.pop((producer, value, produced_at), None)
+        if outcome is not None:
+            outcome.stored_at = stored_at
+            outcome.stored_time = time
+
+    def storage_success_rate(self) -> float:
+        """Fraction of produced readings that were stored anywhere."""
+        if not self.readings:
+            return 0.0
+        return sum(1 for r in self.readings if r.stored) / len(self.readings)
+
+    def owner_hit_rate(self) -> float:
+        """Of stored readings with a known intended owner, the fraction
+        stored exactly there (paper: ~85%, rest fall back to the root)."""
+        relevant = [r for r in self.readings if r.stored and r.intended_owner is not None]
+        if not relevant:
+            return 0.0
+        return sum(1 for r in relevant if r.stored_at_owner) / len(relevant)
+
+    # -- queries ---------------------------------------------------------
+    def query_issued(self, query_id: int, time: float, nodes_targeted: int) -> QueryOutcome:
+        outcome = QueryOutcome(
+            query_id=query_id, issued_at=time, nodes_targeted=nodes_targeted
+        )
+        self.queries[query_id] = outcome
+        return outcome
+
+    def query_reply(self, query_id: int, tuples_returned: int) -> None:
+        outcome = self.queries.get(query_id)
+        if outcome is not None:
+            outcome.replies_received += 1
+            outcome.tuples_returned += tuples_returned
+
+    def query_reply_rate(self) -> float:
+        """Fraction of (query, node) reply obligations that came back."""
+        targeted = sum(q.nodes_targeted for q in self.queries.values())
+        if targeted == 0:
+            return 0.0
+        received = sum(
+            min(q.replies_received, q.nodes_targeted) for q in self.queries.values()
+        )
+        return received / targeted

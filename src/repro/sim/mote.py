@@ -1,0 +1,201 @@
+"""Mote base class: the TinyOS-node-equivalent every application extends.
+
+A :class:`Mote` owns the per-node protocol state the paper assumes of the
+TinyOS stack: a monotonically increasing sequence number stamped into every
+outgoing frame header, a snooping :class:`~repro.sim.linkest.LinkEstimator`,
+and a :class:`~repro.sim.routing_tree.RoutingTree` maintained by periodic
+beacons ("heartbeat messages", Section 6). Subclasses implement
+:meth:`handle_frame` (and optionally :meth:`handle_snoop`) for application
+traffic.
+
+Frame dispatch keeps the bookkeeping honest: *every* heard frame (received
+or snooped, except link-layer ACKs) feeds the link estimator and the
+origin/parent header feeds the descendants list, exactly as Section 5.2
+describes the basestation and nodes learning topology from Scoop's custom
+packet header.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.linkest import LinkEstimator
+from repro.sim.packets import BROADCAST, Frame, FrameKind
+from repro.sim.radio import Radio
+from repro.sim.routing_tree import BeaconPayload, RoutingTree
+
+
+class Mote:
+    """Base simulated node. Node 0 is conventionally the basestation."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: Radio,
+        is_root: bool = False,
+        beacon_interval: float = 10.0,
+        neighbor_silence_timeout: float = 300.0,
+        max_descendants: int = 32,
+        max_neighbors: int = 32,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.radio = radio
+        self.is_root = is_root
+        self._seqno = 0
+        self.linkest = LinkEstimator(
+            max_neighbors=max_neighbors, silence_timeout=neighbor_silence_timeout
+        )
+        self.tree = RoutingTree(
+            node_id=node_id,
+            sim=sim,
+            linkest=self.linkest,
+            is_root=is_root,
+            beacon_interval=beacon_interval,
+            max_descendants=max_descendants,
+            max_neighbors=max_neighbors,
+        )
+        self._beacon_timer = Timer(
+            sim, self._send_beacon, interval=beacon_interval, periodic=True, jitter=0.2
+        )
+        self.booted = False
+        # Link-layer duplicate suppression (as in the TinyOS MAC): a lost
+        # ACK makes the sender retransmit a frame the receiver already has;
+        # without dedup each duplicate would re-propagate multiplicatively
+        # at every hop. Keyed by frame identity, bounded LRU.
+        self._seen_frames: "OrderedDict[int, None]" = OrderedDict()
+        self._seen_frames_cap = 128
+        radio.register(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def boot(self, delay: float = 0.0) -> None:
+        """Start the node ``delay`` seconds from now."""
+        self.sim.schedule(delay, self._boot_now)
+
+    def _boot_now(self) -> None:
+        if self.booted:
+            return
+        self.booted = True
+        self._beacon_timer.start(delay=self.sim.rng.uniform(0.1, self.tree.beacon_interval))
+        self.on_boot()
+
+    def on_boot(self) -> None:
+        """Subclass hook: called once when the node starts."""
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    def make_frame(
+        self,
+        dst: int,
+        kind: FrameKind,
+        payload: Any,
+        origin: Optional[int] = None,
+        origin_parent: Optional[int] = None,
+    ) -> Frame:
+        return Frame(
+            src=self.node_id,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            origin=self.node_id if origin is None else origin,
+            origin_parent=(
+                self.tree.parent if origin_parent is None else origin_parent
+            ),
+            seqno=self.next_seqno(),
+        )
+
+    def broadcast(self, kind: FrameKind, payload: Any, **kw: Any) -> None:
+        self.radio.broadcast(self.make_frame(BROADCAST, kind, payload, **kw))
+
+    def unicast(
+        self,
+        dst: int,
+        kind: FrameKind,
+        payload: Any,
+        done: Optional[Callable[[bool], None]] = None,
+        **kw: Any,
+    ) -> None:
+        self.radio.unicast(self.make_frame(dst, kind, payload, **kw), done=done)
+
+    def forward(self, frame: Frame, dst: int, done: Optional[Callable[[bool], None]] = None) -> None:
+        """Forward a received frame one more hop, preserving origin headers.
+
+        Frames whose TTL is exhausted are dropped (loop protection)."""
+        if frame.ttl <= 0:
+            if done is not None:
+                done(False)
+            return
+        self.radio.unicast(
+            frame.copy_for_forward(src=self.node_id, dst=dst, seqno=self.next_seqno()),
+            done=done,
+        )
+
+    def _send_beacon(self) -> None:
+        self.broadcast(FrameKind.BEACON, self.tree.beacon_payload())
+
+    # ------------------------------------------------------------------
+    # Receiving (RadioListener interface)
+    # ------------------------------------------------------------------
+    def _observe(self, frame: Frame) -> None:
+        if frame.kind is FrameKind.ACK:
+            return
+        self.linkest.hear(frame.src, frame.seqno, self.sim.now)
+        self.tree.note_origin_header(frame.origin, frame.origin_parent)
+
+    def _is_duplicate(self, frame: Frame) -> bool:
+        if frame.frame_id in self._seen_frames:
+            return True
+        self._seen_frames[frame.frame_id] = None
+        while len(self._seen_frames) > self._seen_frames_cap:
+            self._seen_frames.popitem(last=False)
+        return False
+
+    def on_receive(self, frame: Frame) -> None:
+        if not self.booted:
+            return
+        self._observe(frame)
+        if frame.kind is FrameKind.BEACON:
+            self.tree.on_beacon(frame.src, frame.payload)
+            return
+        if self._is_duplicate(frame):
+            return
+        if frame.dst == self.node_id and frame.origin != self.node_id:
+            # Learn descendants from frames travelling *up* the tree: we are
+            # routing on behalf of frame.origin ("by tracking all nodes on
+            # whose behalf it routes packets up the routing tree").
+            # Summaries and replies always travel up; DATA frames can travel
+            # down (rule 5), so those only count when the link sender's last
+            # beacon named us as its parent.
+            if frame.kind in (FrameKind.SUMMARY, FrameKind.REPLY) or (
+                frame.kind is FrameKind.DATA and self.tree.sender_is_child(frame.src)
+            ):
+                self.tree.note_uplink(frame.origin, via_child=frame.src)
+        self.handle_frame(frame)
+
+    def on_snoop(self, frame: Frame) -> None:
+        if not self.booted:
+            return
+        self._observe(frame)
+        if frame.kind is FrameKind.BEACON:
+            self.tree.on_beacon(frame.src, frame.payload)
+            return
+        self.handle_snoop(frame)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def handle_frame(self, frame: Frame) -> None:
+        """Application traffic addressed to (or broadcast past) this node."""
+
+    def handle_snoop(self, frame: Frame) -> None:
+        """Overheard application traffic (default: ignore)."""

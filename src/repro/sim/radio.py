@@ -1,0 +1,374 @@
+"""Packet-level lossy radio medium with CSMA, collisions and link ACKs.
+
+Models the Mica2-style shared channel the paper runs on (Section 2.1-2.2):
+
+* a single shared channel at ~38.6 kbps; per-frame airtime is computed from
+  the frame size, so congestion is emergent rather than assumed;
+* CSMA-CA style carrier sensing: a node defers transmission with random
+  backoff while it can hear an ongoing transmission;
+* collisions at the *receiver*: two transmissions overlapping in time, both
+  audible at a receiver, corrupt each other there (hidden terminals collide
+  even though CSMA spaced out mutually-audible senders) — this is what
+  produces the paper's observation that ~40% of summary messages are lost
+  "mostly due to network congestion near the basestation";
+* independent per-link Bernoulli loss from the ground-truth
+  :class:`~repro.sim.topology.Topology` (paper: 25-90% loss on audible
+  pairs, asymmetric);
+* unicast frames use link-layer ACKs with bounded retransmissions, so lossy
+  links translate into *more transmitted messages* — the cost the storage
+  index's ``xmits`` term is designed to avoid (property P4);
+* half-duplex: a node cannot receive while transmitting;
+* snooping: every successfully received frame not addressed to a node is
+  still handed to it (`on_snoop`), which feeds link estimation.
+
+All message-count and energy accounting flows through this module so no
+protocol layer can forget to pay for a transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.sim.kernel import Simulator
+from repro.sim.packets import BROADCAST, Frame, FrameKind
+from repro.sim.topology import Topology
+
+
+class RadioListener(Protocol):
+    """Interface a mote exposes to the radio."""
+
+    node_id: int
+
+    def on_receive(self, frame: Frame) -> None:
+        """Frame addressed to this node (or broadcast) arrived intact."""
+
+    def on_snoop(self, frame: Frame) -> None:
+        """Overheard a frame addressed to someone else."""
+
+
+@dataclass
+class RadioConfig:
+    """Physical/MAC layer parameters (defaults approximate a Mica2)."""
+
+    bitrate_bps: float = 38_600.0
+    #: CSMA random backoff window (seconds). ``backoff_min`` must exceed the
+    #: ACK turnaround + ACK airtime so acknowledgements are protected inside
+    #: the inter-frame gap, as in real CSMA-CA MACs.
+    backoff_min: float = 0.003
+    backoff_max: float = 0.020
+    #: Give up deferring and transmit anyway after this many busy sensings.
+    max_csma_attempts: int = 16
+    #: Link-layer retransmissions for unicast frames (total tries = 1 + this).
+    #: Loss on audible pairs runs 25-90% (paper Section 6), and a hop only
+    #: succeeds when frame AND ack get through, so persistence is needed:
+    #: at 0.5 delivery each way, 6 tries give ~82% per-hop success.
+    max_retries: int = 5
+    #: How long a sender waits for an ACK before retrying (seconds).
+    ack_timeout: float = 0.060
+    #: Receive-to-ACK turnaround (seconds); kept below backoff_min.
+    ack_turnaround: float = 0.0005
+
+
+@dataclass
+class RadioStats:
+    """Aggregate channel diagnostics (not part of the paper's cost metric)."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    collisions: int = 0
+    bernoulli_losses: int = 0
+    csma_deferrals: int = 0
+    unicast_failures: int = 0
+    acks_sent: int = 0
+
+
+@dataclass
+class _Transmission:
+    src: int
+    frame: Frame
+    start: float
+    end: float
+
+
+@dataclass
+class _PendingUnicast:
+    frame: Frame
+    tries_left: int
+    done: Optional[Callable[[bool], None]]
+    ack_handle: Optional[object] = None
+
+
+class Radio:
+    """The shared wireless medium connecting all motes in a simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[RadioConfig] = None,
+        on_transmit: Optional[Callable[[int, Frame], None]] = None,
+        on_delivery: Optional[Callable[[int, int, Frame], None]] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.config = config or RadioConfig()
+        self.stats = RadioStats()
+        self._listeners: Dict[int, RadioListener] = {}
+        #: recent/ongoing transmissions, pruned opportunistically
+        self._air: List[_Transmission] = []
+        #: per-node FIFO of frames waiting for the channel
+        self._queues: Dict[int, List[dict]] = {}
+        self._busy_sending: Dict[int, bool] = {}
+        self._pending_acks: Dict[int, _PendingUnicast] = {}
+        #: census/energy hooks: (sender, frame) per attempt; (src, dst, frame)
+        #: per successful delivery
+        self._on_transmit = on_transmit
+        self._on_delivery = on_delivery
+
+    # ------------------------------------------------------------------
+    # Registration and public send API
+    # ------------------------------------------------------------------
+    def register(self, listener: RadioListener) -> None:
+        node = listener.node_id
+        if node in self._listeners:
+            raise ValueError(f"node {node} already registered")
+        if not 0 <= node < self.topology.n:
+            raise ValueError(f"node {node} outside topology of size {self.topology.n}")
+        self._listeners[node] = listener
+        self._queues[node] = []
+        self._busy_sending[node] = False
+
+    def broadcast(self, frame: Frame) -> None:
+        """Queue an unacknowledged broadcast frame."""
+        if frame.dst != BROADCAST:
+            raise ValueError("broadcast() requires frame.dst == BROADCAST")
+        self._enqueue(frame.src, {"frame": frame, "done": None, "tries": 1})
+
+    def unicast(self, frame: Frame, done: Optional[Callable[[bool], None]] = None) -> None:
+        """Queue an acknowledged unicast frame.
+
+        ``done(success)`` fires after the final attempt; ``success`` is True
+        iff a link-layer ACK came back.
+        """
+        if frame.dst == BROADCAST:
+            raise ValueError("unicast() requires a concrete destination")
+        self._enqueue(
+            frame.src,
+            {"frame": frame, "done": done, "tries": 1 + self.config.max_retries},
+        )
+
+    # ------------------------------------------------------------------
+    # Channel access (CSMA)
+    # ------------------------------------------------------------------
+    def _enqueue(self, node: int, entry: dict) -> None:
+        if node not in self._queues:
+            raise ValueError(f"node {node} is not registered with the radio")
+        entry.setdefault("csma_attempts", 0)
+        entry.setdefault("retry_no", 0)
+        self._queues[node].append(entry)
+        self._pump(node)
+
+    def _pump(self, node: int) -> None:
+        if self._busy_sending[node] or not self._queues[node]:
+            return
+        self._busy_sending[node] = True
+        entry = self._queues[node][0]
+        # Initial random backoff slot (CSMA-CA): transmissions triggered by
+        # the same event (e.g. a broadcast everyone reacts to, or two nodes'
+        # timers aligning) must not start at the same instant — carrier
+        # sense cannot see a transmission that hasn't started yet.
+        self.sim.schedule(
+            self.sim.rng.uniform(0.0002, self.config.backoff_min * 2),
+            self._try_send,
+            node,
+            entry,
+        )
+
+    def _channel_busy_until(self, node: int) -> float:
+        """Latest end-time of any ongoing transmission audible at ``node``."""
+        now = self.sim.now
+        busy = now
+        for tx in self._air:
+            if tx.end > now and tx.src != node and self.topology.audible(tx.src, node):
+                busy = max(busy, tx.end)
+        return busy
+
+    def _try_send(self, node: int, entry: dict) -> None:
+        busy_until = self._channel_busy_until(node)
+        cfg = self.config
+        if busy_until > self.sim.now and entry["csma_attempts"] < cfg.max_csma_attempts:
+            entry["csma_attempts"] += 1
+            self.stats.csma_deferrals += 1
+            backoff = self.sim.rng.uniform(cfg.backoff_min, cfg.backoff_max)
+            self.sim.schedule(
+                (busy_until - self.sim.now) + backoff, self._try_send, node, entry
+            )
+            return
+        self._start_transmission(node, entry)
+
+    # ------------------------------------------------------------------
+    # Transmission and reception
+    # ------------------------------------------------------------------
+    def _start_transmission(self, node: int, entry: dict) -> None:
+        frame: Frame = entry["frame"]
+        airtime = frame.size_bits() / self.config.bitrate_bps
+        tx = _Transmission(
+            src=node, frame=frame, start=self.sim.now, end=self.sim.now + airtime
+        )
+        self._air.append(tx)
+        self.stats.frames_sent += 1
+        if self._on_transmit is not None:
+            self._on_transmit(node, frame)
+        self.sim.schedule(airtime, self._finish_transmission, tx, entry)
+
+    def _finish_transmission(self, tx: _Transmission, entry: dict) -> None:
+        frame = tx.frame
+        self._prune_air()
+        # Compute the set of transmissions overlapping this one once; the
+        # per-receiver check then only tests audibility of these few.
+        overlapping = [
+            other
+            for other in self._air
+            if other is not tx and self._overlaps(other, tx)
+        ]
+        delivered_to_dst = False
+        for receiver in self.topology.neighbors(tx.src):
+            if receiver == tx.src or receiver not in self._listeners:
+                continue
+            if not self._reception_succeeds(tx, receiver, overlapping):
+                continue
+            self.stats.frames_delivered += 1
+            if self._on_delivery is not None:
+                self._on_delivery(tx.src, receiver, frame)
+            listener = self._listeners[receiver]
+            if frame.dst == BROADCAST or frame.dst == receiver:
+                if frame.dst == receiver:
+                    delivered_to_dst = True
+                    if frame.kind is not FrameKind.ACK:
+                        self._schedule_ack(receiver, tx.src, frame)
+                if frame.kind is FrameKind.ACK:
+                    self._handle_ack_arrival(receiver, frame)
+                else:
+                    listener.on_receive(frame)
+            else:
+                listener.on_snoop(frame)
+
+        if frame.kind is FrameKind.ACK:
+            return  # ACK frames are fire-and-forget and bypass the queues
+
+        if frame.dst == BROADCAST:
+            self._complete_entry(tx.src, entry, success=True)
+        elif delivered_to_dst:
+            # Wait for the ACK (which may itself be lost -> retry).
+            pending = _PendingUnicast(
+                frame=frame, tries_left=entry["tries"] - 1, done=entry["done"]
+            )
+            pending.ack_handle = self.sim.schedule(
+                self.config.ack_timeout, self._ack_timeout, tx.src, entry, frame.frame_id
+            )
+            self._pending_acks[frame.frame_id] = pending
+        else:
+            self._retry_or_fail(tx.src, entry)
+
+    def _reception_succeeds(
+        self, tx: _Transmission, receiver: int, overlapping: List[_Transmission]
+    ) -> bool:
+        for other in overlapping:
+            # Half-duplex: a node transmitting during any part of the frame
+            # cannot receive it.
+            if other.src == receiver:
+                return False
+            # Collision: another audible transmission overlapping in time.
+            if self.topology.audible(other.src, receiver):
+                self.stats.collisions += 1
+                return False
+        # Independent link loss.
+        if self.sim.rng.random() < self.topology.loss[tx.src][receiver]:
+            self.stats.bernoulli_losses += 1
+            return False
+        return True
+
+    @staticmethod
+    def _overlaps(a: _Transmission, b: _Transmission) -> bool:
+        return a.start < b.end and b.start < a.end
+
+    def _prune_air(self) -> None:
+        # Keep a short history so overlap checks at frame end still see
+        # transmissions that finished mid-frame (airtimes are ~10 ms).
+        horizon = self.sim.now - 0.1
+        self._air = [tx for tx in self._air if tx.end >= horizon]
+
+    # ------------------------------------------------------------------
+    # Link-layer ACK machinery
+    # ------------------------------------------------------------------
+    def _schedule_ack(self, from_node: int, to_node: int, original: Frame) -> None:
+        ack = Frame(
+            src=from_node,
+            dst=to_node,
+            kind=FrameKind.ACK,
+            payload=_AckPayload(original.frame_id),
+        )
+        self.stats.acks_sent += 1
+        # ACKs are sent at MAC level with a fixed turnaround and skip CSMA.
+        self.sim.schedule(self.config.ack_turnaround, self._send_ack_now, ack)
+
+    def _send_ack_now(self, ack: Frame) -> None:
+        airtime = ack.size_bits() / self.config.bitrate_bps
+        tx = _Transmission(src=ack.src, frame=ack, start=self.sim.now, end=self.sim.now + airtime)
+        self._air.append(tx)
+        if self._on_transmit is not None:
+            self._on_transmit(ack.src, ack)
+        self.sim.schedule(airtime, self._finish_transmission, tx, {"done": None, "tries": 1})
+
+    def _handle_ack_arrival(self, receiver: int, ack_frame: Frame) -> None:
+        payload: _AckPayload = ack_frame.payload
+        pending = self._pending_acks.pop(payload.acked_frame_id, None)
+        if pending is None:
+            return  # duplicate or stale ACK
+        if pending.ack_handle is not None:
+            pending.ack_handle.cancel()
+        self._complete_entry(receiver, {"done": pending.done, "frame": pending.frame}, True)
+
+    def _ack_timeout(self, sender: int, entry: dict, frame_id: int) -> None:
+        pending = self._pending_acks.pop(frame_id, None)
+        if pending is None:
+            return  # ACK arrived concurrently
+        self._retry_or_fail(sender, entry)
+
+    def _retry_or_fail(self, sender: int, entry: dict) -> None:
+        entry["tries"] -= 1
+        if entry["tries"] > 0:
+            entry["csma_attempts"] = 0
+            entry["retry_no"] = entry.get("retry_no", 0) + 1
+            # Exponential random backoff: colliding senders that timed out
+            # together must desynchronise or they will collide forever.
+            cfg = self.config
+            window = cfg.backoff_max * (2 ** entry["retry_no"])
+            self.sim.schedule(
+                self.sim.rng.uniform(cfg.backoff_min, window),
+                self._try_send,
+                sender,
+                entry,
+            )
+        else:
+            self.stats.unicast_failures += 1
+            self._complete_entry(sender, entry, success=False)
+
+    def _complete_entry(self, sender: int, entry: dict, success: bool) -> None:
+        queue = self._queues.get(sender)
+        if queue and queue and queue[0].get("frame") is entry.get("frame"):
+            queue.pop(0)
+        self._busy_sending[sender] = False
+        done = entry.get("done")
+        if done is not None:
+            done(success)
+        self._pump(sender)
+
+
+@dataclass
+class _AckPayload:
+    acked_frame_id: int
+
+    def wire_bytes(self) -> int:
+        return 2

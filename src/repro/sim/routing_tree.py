@@ -1,0 +1,225 @@
+"""Tree-based multihop routing (Woo et al. style), per Sections 2.2 and 5.1.
+
+Each node selects exactly one parent that is "one hop closer to the
+basestation than itself"; parent selection minimises cumulative path ETX
+using the snooping link estimator, with hysteresis so the tree is stable
+under noisy estimates. The root (node 0) advertises path cost 0.
+
+Beyond the parent pointer, the service maintains the two bounded lists the
+paper's routing rules depend on (Section 5.1):
+
+* a **descendants list** (max 32 entries) mapping each known descendant to
+  the child branch it is reachable through, learned "by tracking all nodes
+  on whose behalf it routes packets up the routing tree";
+* a **neighbor list** (max 32 entries) from the link estimator, "independent
+  of the routing tree", used to take shortcuts.
+
+Entries are evicted LRU-style when the lists overflow and when nodes fall
+silent, "thus adapting to changes in network connectivity".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.linkest import LinkEstimator
+
+
+@dataclass
+class BeaconPayload:
+    """Routing beacon: the sender's advertised path cost and parent."""
+
+    path_etx: float
+    parent: Optional[int]
+
+    def wire_bytes(self) -> int:
+        return 5
+
+
+@dataclass
+class _ParentCandidate:
+    advertised_etx: float
+    advertised_parent: Optional[int]
+    last_heard: float
+
+
+class RoutingTree:
+    """Routing-tree state machine for a single node.
+
+    The owning mote must feed it beacons (:meth:`on_beacon`), uplink
+    forwarding observations (:meth:`note_uplink`) and overheard origin/parent
+    headers (:meth:`note_origin_header`), and should consult
+    :attr:`parent`, :meth:`next_hop_down` and :meth:`in_neighbor_list` when
+    routing.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        linkest: LinkEstimator,
+        is_root: bool = False,
+        beacon_interval: float = 10.0,
+        max_descendants: int = 32,
+        max_neighbors: int = 32,
+        switch_threshold: float = 0.75,
+        parent_timeout_beacons: float = 8.0,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.linkest = linkest
+        self.is_root = is_root
+        self.beacon_interval = beacon_interval
+        self.max_descendants = max_descendants
+        self.max_neighbors = max_neighbors
+        self.switch_threshold = switch_threshold
+        self.parent_timeout = parent_timeout_beacons * beacon_interval
+
+        self.parent: Optional[int] = None
+        self.path_etx: float = 0.0 if is_root else math.inf
+        self._candidates: Dict[int, _ParentCandidate] = {}
+        #: descendant -> next-hop child, most-recently-used last
+        self._descendants: "OrderedDict[int, int]" = OrderedDict()
+        #: neighbor -> the parent it advertised in its last beacon; lets a
+        #: node recognise which link-senders are its children (used to learn
+        #: descendants from up-routed data frames).
+        self.neighbor_parents: Dict[int, Optional[int]] = {}
+        self.parent_changes = 0
+
+    # ------------------------------------------------------------------
+    # Beacon handling / parent selection
+    # ------------------------------------------------------------------
+    def beacon_payload(self) -> BeaconPayload:
+        return BeaconPayload(path_etx=self.path_etx, parent=self.parent)
+
+    #: Parent candidates advertising a path cost above this are ignored.
+    #: Routing cycles disconnected from the root (count-to-infinity during
+    #: churn) inflate their advertised cost every beacon round; the ceiling
+    #: makes such cycles self-destruct within a few beacons.
+    MAX_PATH_ETX = 100.0
+
+    def on_beacon(self, sender: int, payload: BeaconPayload) -> None:
+        self.neighbor_parents[sender] = payload.parent
+        if self.is_root:
+            return
+        if payload.parent == self.node_id or payload.path_etx > self.MAX_PATH_ETX:
+            # The sender routes through us (loop) or advertises a cost that
+            # only a cycle can produce: not a usable parent.
+            self._candidates.pop(sender, None)
+            self._reevaluate()
+            return
+        self._candidates[sender] = _ParentCandidate(
+            advertised_etx=payload.path_etx,
+            advertised_parent=payload.parent,
+            last_heard=self.sim.now,
+        )
+        self._reevaluate()
+
+    def _candidate_cost(self, neighbor: int) -> float:
+        cand = self._candidates.get(neighbor)
+        if cand is None:
+            return math.inf
+        return cand.advertised_etx + self.linkest.etx(neighbor)
+
+    def _reevaluate(self) -> None:
+        now = self.sim.now
+        stale = [
+            nbr
+            for nbr, cand in self._candidates.items()
+            if now - cand.last_heard > self.parent_timeout
+        ]
+        for nbr in stale:
+            del self._candidates[nbr]
+
+        if self.parent is not None and self.parent not in self._candidates:
+            self.parent = None
+            self.path_etx = math.inf
+
+        best: Optional[int] = None
+        best_cost = math.inf
+        for nbr in self._candidates:
+            cost = self._candidate_cost(nbr)
+            if cost < best_cost:
+                best, best_cost = nbr, cost
+
+        if best is None:
+            return
+        current_cost = (
+            self._candidate_cost(self.parent) if self.parent is not None else math.inf
+        )
+        if self.parent is None or best_cost < current_cost - self.switch_threshold:
+            if best != self.parent:
+                self.parent_changes += 1
+            self.parent = best
+            current_cost = best_cost
+        self.path_etx = current_cost
+
+    @property
+    def joined(self) -> bool:
+        """True once the node has a route to the basestation."""
+        return self.is_root or self.parent is not None
+
+    @property
+    def depth_estimate(self) -> float:
+        """Path ETX to the root (∞ before joining)."""
+        return self.path_etx
+
+    # ------------------------------------------------------------------
+    # Descendants list
+    # ------------------------------------------------------------------
+    def note_uplink(self, origin: int, via_child: int) -> None:
+        """Record that a packet from ``origin`` was routed up through
+        ``via_child`` (so ``origin`` is a descendant on that branch)."""
+        if origin == self.node_id:
+            return
+        for desc in (origin, via_child):
+            if desc == self.node_id:
+                continue
+            self._descendants.pop(desc, None)
+            self._descendants[desc] = via_child
+        self._trim_descendants()
+
+    def note_origin_header(self, origin: int, origin_parent: Optional[int]) -> None:
+        """Learn from the Scoop packet header (every packet carries its
+        origin and the origin's parent): a node whose parent is us is a
+        direct child."""
+        if origin_parent == self.node_id and origin != self.node_id:
+            self._descendants.pop(origin, None)
+            self._descendants[origin] = origin
+            self._trim_descendants()
+
+    def _trim_descendants(self) -> None:
+        while len(self._descendants) > self.max_descendants:
+            self._descendants.popitem(last=False)
+
+    def sender_is_child(self, sender: int) -> bool:
+        """True when ``sender``'s last beacon advertised us as its parent,
+        i.e. frames arriving from it are travelling *up* the tree."""
+        return self.neighbor_parents.get(sender, None) == self.node_id
+
+    def in_descendants(self, node: int) -> bool:
+        return node in self._descendants
+
+    def next_hop_down(self, node: int) -> Optional[int]:
+        """The child branch through which ``node`` is reachable, if known."""
+        return self._descendants.get(node)
+
+    def descendants(self) -> List[int]:
+        return list(self._descendants.keys())
+
+    def forget_descendant(self, node: int) -> None:
+        self._descendants.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Neighbor list (from the link estimator, capped)
+    # ------------------------------------------------------------------
+    def neighbor_list(self) -> List[int]:
+        ranked = self.linkest.best_neighbors(self.max_neighbors)
+        return [nbr for nbr, _quality in ranked]
+
+    def in_neighbor_list(self, node: int) -> bool:
+        return node in set(self.neighbor_list())

@@ -1,0 +1,99 @@
+"""The paper's synthetic data sources: UNIQUE, EQUAL, RANDOM, GAUSSIAN.
+
+From Section 6:
+
+* **UNIQUE** — "each sensor produces its own, unique node ID as its value
+  for the duration of the experiment": perfect locality, Scoop's best case
+  (the index maps every node's value to the node itself);
+* **EQUAL** — "all sensors in the network produce the same value for the
+  duration of the experiment": one popular value, maximal batching, and a
+  storage index that never changes (mapping suppression kicks in);
+* **RANDOM** — "nodes produce random numbers in the range [0,100]": no
+  locality at all, the adversarial case where Scoop degenerates to
+  BASE/HASH-level performance;
+* **GAUSSIAN** — "each sensor i randomly selects a mean value µ_i from the
+  range [0,100] ... generates readings by sampling from a uni-dimensional
+  Gaussian with mean µ and variance of 10": per-node locality without
+  cross-node correlation, approximating independent sensors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ValueDomain
+from repro.workloads.base import Workload
+
+
+class UniqueWorkload(Workload):
+    """Every node always produces its own node ID."""
+
+    name = "unique"
+
+    def sample(self, node_id: int, now: float) -> int:
+        return self.domain.clamp(node_id)
+
+
+class EqualWorkload(Workload):
+    """Every node always produces the same single value."""
+
+    name = "equal"
+
+    def __init__(
+        self,
+        domain: ValueDomain,
+        n_nodes: int,
+        seed: int = 0,
+        value: Optional[int] = None,
+        positions=None,
+    ):
+        super().__init__(domain, n_nodes, seed, positions=positions)
+        if value is None:
+            value = (domain.lo + domain.hi) // 2
+        self.value = domain.clamp(value)
+
+    def sample(self, node_id: int, now: float) -> int:
+        return self.value
+
+
+class RandomWorkload(Workload):
+    """Uniformly random values over the whole domain, per sample.
+
+    Deterministic in (seed, node, time): the same (node, time) pair always
+    yields the same value, so replays match.
+    """
+
+    name = "random"
+
+    def sample(self, node_id: int, now: float) -> int:
+        rng = self._rng_for(node_id, round(now, 3))
+        return rng.randint(self.domain.lo, self.domain.hi)
+
+
+class GaussianWorkload(Workload):
+    """Per-node Gaussian: mean µ_i ~ U[domain], variance 10 (paper's value)."""
+
+    name = "gaussian"
+
+    def __init__(
+        self,
+        domain: ValueDomain,
+        n_nodes: int,
+        seed: int = 0,
+        variance: float = 10.0,
+        positions=None,
+    ):
+        super().__init__(domain, n_nodes, seed, positions=positions)
+        self.variance = variance
+        self._means = {}
+        for node in range(n_nodes):
+            rng = self._rng_for("mean", node)
+            self._means[node] = rng.uniform(domain.lo, domain.hi)
+
+    def mean_of(self, node_id: int) -> float:
+        return self._means[node_id]
+
+    def sample(self, node_id: int, now: float) -> int:
+        rng = self._rng_for(node_id, round(now, 3))
+        value = rng.gauss(self._means[node_id], self.variance ** 0.5)
+        return self.domain.clamp(round(value))

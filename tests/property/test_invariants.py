@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Each property is an invariant DESIGN.md commits to: histogram probabilities
+behave like the paper's estimator, index compaction/chunking round-trips
+exactly, the kernel orders events correctly, and the indexing algorithm's
+choice is never worse than any single-owner alternative beyond the
+configured tie tolerance.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.histogram import Histogram
+from repro.core.storage_index import StorageIndex
+from repro.sim.kernel import Simulator
+
+
+# ----------------------------------------------------------------------
+# Histogram properties
+# ----------------------------------------------------------------------
+values_strategy = st.lists(st.integers(0, 200), min_size=1, max_size=60)
+
+
+@given(values=values_strategy, n_bins=st.integers(1, 16))
+def test_histogram_total_equals_sample_count(values, n_bins):
+    hist = Histogram.from_values(values, n_bins)
+    assert hist.total == len(values)
+
+
+@given(values=values_strategy, n_bins=st.integers(1, 16))
+def test_histogram_probabilities_nonnegative_and_bounded(values, n_bins):
+    hist = Histogram.from_values(values, n_bins)
+    for v in range(min(values) - 2, max(values) + 3):
+        p = hist.probability(v)
+        assert 0.0 <= p <= 1.0
+
+
+@given(values=values_strategy, n_bins=st.integers(1, 16))
+def test_histogram_zero_outside_observed_range(values, n_bins):
+    hist = Histogram.from_values(values, n_bins)
+    assert hist.probability(min(values) - 1) == 0.0
+    assert hist.probability(max(values) + 1) == 0.0
+
+
+@given(values=values_strategy, n_bins=st.integers(1, 16))
+def test_histogram_mass_sums_near_one(values, n_bins):
+    """Σ_v P(v) over the observed range ≈ 1 (the estimator's intent)."""
+    hist = Histogram.from_values(values, n_bins)
+    total = sum(
+        hist.probability(v) for v in range(min(values), max(values) + 1)
+    )
+    # bin_width rounding makes this approximate, but never wildly off
+    assert 0.5 <= total <= 1.5
+
+
+@given(values=values_strategy, n_bins=st.integers(1, 16))
+def test_histogram_vector_consistent_with_scalar(values, n_bins):
+    hist = Histogram.from_values(values, n_bins)
+    lo, hi = min(values) - 3, max(values) + 3
+    vec = hist.probability_vector(lo, hi)
+    for v in range(lo, hi + 1):
+        assert math.isclose(vec[v - lo], hist.probability(v), abs_tol=1e-12)
+
+
+@given(values=values_strategy, n_bins=st.integers(1, 16))
+def test_observed_values_have_positive_probability(values, n_bins):
+    hist = Histogram.from_values(values, n_bins)
+    for v in set(values):
+        assert hist.probability(v) > 0.0
+
+
+# ----------------------------------------------------------------------
+# Storage index properties
+# ----------------------------------------------------------------------
+def owners_strategy(size):
+    return st.lists(
+        st.integers(0, 30), min_size=size, max_size=size
+    )
+
+
+@given(data=st.data(), domain_size=st.integers(1, 80))
+def test_compaction_preserves_lookup(data, domain_size):
+    domain = ValueDomain(0, domain_size - 1)
+    owners = data.draw(owners_strategy(domain_size))
+    index = StorageIndex.single_owner(1, domain, owners)
+    entries = index.compact()
+    # ranges tile the domain exactly, in order, without overlap
+    assert entries[0].lo == domain.lo
+    assert entries[-1].hi == domain.hi
+    for a, b in zip(entries, entries[1:]):
+        assert b.lo == a.hi + 1
+    # every value's owner is preserved
+    for entry in entries:
+        for v in range(entry.lo, entry.hi + 1):
+            assert index.owner_of(v) == entry.owners[0]
+
+
+@given(
+    data=st.data(),
+    domain_size=st.integers(1, 80),
+    max_entries=st.integers(1, 7),
+)
+def test_chunking_roundtrip_exact(data, domain_size, max_entries):
+    domain = ValueDomain(0, domain_size - 1)
+    owners = data.draw(owners_strategy(domain_size))
+    index = StorageIndex.single_owner(3, domain, owners)
+    rebuilt = StorageIndex.from_chunks(domain, index.to_chunks(max_entries))
+    assert rebuilt == index
+
+
+@given(data=st.data(), domain_size=st.integers(1, 60))
+def test_similarity_is_reflexive_and_symmetric(data, domain_size):
+    domain = ValueDomain(0, domain_size - 1)
+    a = StorageIndex.single_owner(1, domain, data.draw(owners_strategy(domain_size)))
+    b = StorageIndex.single_owner(2, domain, data.draw(owners_strategy(domain_size)))
+    assert a.similarity(a) == 1.0
+    assert math.isclose(a.similarity(b), b.similarity(a))
+    assert 0.0 <= a.similarity(b) <= 1.0
+
+
+@given(data=st.data(), domain_size=st.integers(2, 60))
+def test_owners_for_range_is_union_of_points(data, domain_size):
+    domain = ValueDomain(0, domain_size - 1)
+    owners = data.draw(owners_strategy(domain_size))
+    index = StorageIndex.single_owner(1, domain, owners)
+    lo = data.draw(st.integers(domain.lo, domain.hi))
+    hi = data.draw(st.integers(lo, domain.hi))
+    expected = {index.owner_of(v) for v in range(lo, hi + 1)}
+    assert index.owners_for_range(lo, hi) == frozenset(expected)
+
+
+# ----------------------------------------------------------------------
+# Kernel properties
+# ----------------------------------------------------------------------
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+def test_kernel_executes_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run(101.0)
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=20),
+)
+def test_kernel_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for i, d in enumerate(delays):
+        handles.append(sim.schedule(d, fired.append, i))
+    cancelled = set()
+    for i, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(i)
+    sim.run(60.0)
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+# ----------------------------------------------------------------------
+# Indexing algorithm property: argmin optimality (within tie tolerance)
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_nodes=st.integers(3, 8),
+)
+def test_index_choice_beats_uniform_alternatives(seed, n_nodes):
+    """The built index never costs more than mapping everything to any
+    single node, beyond the configured tie tolerance."""
+    import random
+
+    from repro.core.cost_model import NetworkModel
+    from repro.core.indexing import build_storage_index, evaluate_index_cost
+    from repro.core.messages import SummaryMessage
+    from repro.core.statistics import BasestationStatistics
+
+    rng = random.Random(seed)
+    domain = ValueDomain(0, 19)
+    config = ScoopConfig(n_nodes=n_nodes, domain=domain)
+    stats = BasestationStatistics(config)
+    for node in range(1, n_nodes):
+        center = rng.randint(0, 19)
+        values = [
+            domain.clamp(center + rng.randint(-2, 2)) for _ in range(10)
+        ]
+        stats.ingest_summary(
+            SummaryMessage(
+                origin=node,
+                histogram=Histogram.from_values(values, 5),
+                min_value=min(values),
+                max_value=max(values),
+                sum_values=sum(values),
+                readings_since_last=5,
+                neighbors=((max(0, node - 1), rng.uniform(0.5, 0.95)),),
+                last_sid=-1,
+            ),
+            now=10.0 + node,
+        )
+    for _ in range(rng.randint(0, 5)):
+        lo = rng.randint(0, 15)
+        stats.record_query((lo, lo + 3), now=rng.uniform(10, 200))
+    model = NetworkModel.from_statistics(stats)
+    result = build_storage_index(1, stats, model, config, now=300.0)
+    chosen = evaluate_index_cost(result.index, stats, model, config, 300.0)
+    for node in range(n_nodes):
+        uniform = StorageIndex.uniform(9, domain, node)
+        alternative = evaluate_index_cost(uniform, stats, model, config, 300.0)
+        assert chosen <= alternative * (1 + config.index_tie_tolerance) + 1e-6

@@ -1,0 +1,92 @@
+"""Unit tests for summary histograms and the P(p -> v) estimator."""
+
+import pytest
+
+from repro.core.histogram import Histogram
+
+
+class TestConstruction:
+    def test_paper_example(self):
+        # Paper Section 5.2: min=1, max=100, nBins=10, 8 readings between
+        # 50 and 60 -> 6th bin (n=5) holds 8.
+        values = [55] * 8 + [1, 100]
+        hist = Histogram.from_values(values, n_bins=10)
+        assert hist.min_value == 1
+        assert hist.max_value == 100
+        assert hist.bins[5] == 8
+
+    def test_bin_width_formula(self):
+        hist = Histogram.from_values([0, 99], n_bins=10)
+        assert hist.bin_width == pytest.approx(10.0)
+
+    def test_all_values_counted(self):
+        values = list(range(30))
+        hist = Histogram.from_values(values, n_bins=7)
+        assert hist.total == 30
+
+    def test_single_value(self):
+        hist = Histogram.from_values([42] * 5, n_bins=10)
+        assert hist.min_value == hist.max_value == 42
+        assert hist.total == 5
+        assert hist.probability(42) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([], n_bins=10)
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([1, 2], n_bins=0)
+        with pytest.raises(ValueError):
+            Histogram(min_value=5, max_value=1, bins=(1,))
+        with pytest.raises(ValueError):
+            Histogram(min_value=1, max_value=5, bins=(-1, 2))
+
+    def test_max_value_lands_in_last_bin(self):
+        hist = Histogram.from_values([0, 100], n_bins=10)
+        assert hist.bin_of(100) == 9
+
+
+class TestProbability:
+    def test_outside_range_is_zero(self):
+        hist = Histogram.from_values([10, 20, 30], n_bins=5)
+        assert hist.probability(5) == 0.0
+        assert hist.probability(35) == 0.0
+
+    def test_follows_paper_pseudocode(self):
+        values = [10] * 6 + [19] * 3 + [28]
+        hist = Histogram.from_values(values, n_bins=4)
+        # manual: min=10 max=28 width=(28-10+1)/4=4.75
+        v = 11
+        bin_index = int((v - 10) / 4.75)
+        expected = (hist.bins[bin_index] / 10) * (1 / 4.75)
+        assert hist.probability(v) == pytest.approx(expected)
+
+    def test_sums_to_one_over_integer_domain(self):
+        values = [3, 7, 7, 12, 18, 18, 18, 25]
+        hist = Histogram.from_values(values, n_bins=5)
+        total = sum(hist.probability(v) for v in range(0, 60))
+        # Equal-width bins over integers only approximately normalise; the
+        # paper's estimator has the same property.
+        assert total == pytest.approx(1.0, rel=0.3)
+
+    def test_heavier_bin_more_likely(self):
+        values = [10] * 9 + [50]
+        hist = Histogram.from_values(values, n_bins=4)
+        assert hist.probability(10) > hist.probability(50)
+
+    def test_probability_vector_matches_scalar(self):
+        values = [5, 6, 7, 20, 21, 40]
+        hist = Histogram.from_values(values, n_bins=6)
+        vec = hist.probability_vector(0, 50)
+        for v in range(0, 51):
+            assert vec[v] == pytest.approx(hist.probability(v))
+
+    def test_vector_outside_overlap_is_zero(self):
+        hist = Histogram.from_values([10, 20], n_bins=2)
+        vec = hist.probability_vector(30, 40)
+        assert vec.sum() == 0.0
+
+    def test_wire_size_fits_one_packet(self):
+        hist = Histogram.from_values(list(range(30)), n_bins=10)
+        assert hist.wire_bytes() <= 14

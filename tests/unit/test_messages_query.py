@@ -1,0 +1,155 @@
+"""Unit tests for message payloads, frames and query objects."""
+
+import pytest
+
+from repro.core.messages import (
+    DataMessage,
+    MappingChunk,
+    QueryMessage,
+    ReplyMessage,
+)
+from repro.core.query import Query, QueryResult
+from repro.sim.packets import (
+    ACK_BYTES,
+    BROADCAST,
+    HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    Frame,
+    FrameKind,
+)
+
+
+class TestFrames:
+    def test_size_includes_header(self):
+        msg = DataMessage(readings=[(1, 0.0, 2)], owner=3, sid=1)
+        frame = Frame(src=1, dst=2, kind=FrameKind.DATA, payload=msg)
+        assert frame.size_bytes() == HEADER_BYTES + msg.wire_bytes()
+
+    def test_payload_capped_at_tos_msg(self):
+        msg = DataMessage(readings=[(1, 0.0, 2)] * 20, owner=3, sid=1)
+        frame = Frame(src=1, dst=2, kind=FrameKind.DATA, payload=msg)
+        assert frame.size_bytes() == HEADER_BYTES + MAX_PAYLOAD_BYTES
+
+    def test_ack_size_fixed(self):
+        frame = Frame(src=1, dst=2, kind=FrameKind.ACK, payload=None)
+        assert frame.size_bytes() == ACK_BYTES
+
+    def test_origin_defaults_to_src(self):
+        frame = Frame(src=7, dst=2, kind=FrameKind.BEACON, payload=None)
+        assert frame.origin == 7
+
+    def test_forward_preserves_origin_decrements_ttl(self):
+        frame = Frame(
+            src=1, dst=2, kind=FrameKind.SUMMARY, payload=None, origin=9,
+            origin_parent=4, ttl=10,
+        )
+        fwd = frame.copy_for_forward(src=2, dst=3, seqno=77)
+        assert fwd.origin == 9 and fwd.origin_parent == 4
+        assert fwd.src == 2 and fwd.dst == 3
+        assert fwd.ttl == 9
+        assert fwd.frame_id != frame.frame_id
+
+    def test_broadcast_flag(self):
+        assert Frame(src=1, dst=BROADCAST, kind=FrameKind.QUERY).is_broadcast()
+
+    def test_payload_without_wire_bytes_rejected(self):
+        frame = Frame(src=1, dst=2, kind=FrameKind.DATA, payload=object())
+        with pytest.raises(TypeError):
+            frame.size_bytes()
+
+
+class TestPayloads:
+    def test_data_message_values(self):
+        msg = DataMessage(readings=[(5, 1.0, 2), (7, 2.0, 2)], owner=1, sid=3)
+        assert msg.values() == [5, 7]
+
+    def test_mapping_chunk_bounds(self):
+        MappingChunk(sid=1, index=0, total=1, entries=())
+        with pytest.raises(ValueError):
+            MappingChunk(sid=1, index=2, total=2, entries=())
+
+    def test_query_matches_value_and_time(self):
+        q = QueryMessage(
+            query_id=1,
+            bitmap=frozenset({2}),
+            time_range=(10.0, 20.0),
+            value_range=(5, 9),
+            issued_at=20.0,
+        )
+        assert q.matches(7, 15.0)
+        assert not q.matches(7, 25.0)
+        assert not q.matches(4, 15.0)
+
+    def test_query_node_filter(self):
+        q = QueryMessage(
+            query_id=1,
+            bitmap=frozenset({2, 3}),
+            time_range=(0.0, 50.0),
+            value_range=None,
+            issued_at=50.0,
+            node_filter=frozenset({3}),
+        )
+        assert q.matches(1, 10.0, producer=3)
+        assert not q.matches(1, 10.0, producer=2)
+
+    def test_reply_wire_grows_with_readings(self):
+        small = ReplyMessage(query_id=1, origin=2, readings=[])
+        big = ReplyMessage(query_id=1, origin=2, readings=[(1, 0.0, 2)] * 5)
+        assert big.wire_bytes() > small.wire_bytes()
+
+
+class TestQueryObjects:
+    def test_valid_value_query(self):
+        q = Query(time_range=(0.0, 10.0), value_range=(1, 5))
+        assert q.node_list is None
+
+    def test_node_list_query(self):
+        q = Query(time_range=(0.0, 10.0), node_list=frozenset({1, 2}))
+        assert q.value_range is None
+
+    def test_unique_ids(self):
+        a = Query(time_range=(0.0, 1.0))
+        b = Query(time_range=(0.0, 1.0))
+        assert a.query_id != b.query_id
+
+    def test_invalid_combinations(self):
+        with pytest.raises(ValueError):
+            Query(time_range=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Query(time_range=(0.0, 1.0), value_range=(1, 2), node_list=frozenset({1}))
+        with pytest.raises(ValueError):
+            Query(time_range=(0.0, 1.0), value_range=(5, 2))
+        with pytest.raises(ValueError):
+            Query(time_range=(0.0, 1.0), node_list=frozenset())
+
+
+class TestQueryResult:
+    def _result(self):
+        return QueryResult(
+            query=Query(time_range=(0.0, 10.0), value_range=(0, 5)),
+            nodes_targeted={1, 2},
+        )
+
+    def test_dedup_on_add(self):
+        result = self._result()
+        result.add_readings([(3, 1.0, 1), (3, 1.0, 1), (4, 2.0, 1)])
+        assert len(result.readings) == 2
+
+    def test_dedup_across_calls(self):
+        result = self._result()
+        result.add_readings([(3, 1.0, 1)])
+        result.add_readings([(3, 1.0, 1)])
+        assert len(result.readings) == 1
+
+    def test_reply_fraction(self):
+        result = self._result()
+        assert result.reply_fraction == 0.0
+        result.nodes_replied.add(1)
+        assert result.reply_fraction == pytest.approx(0.5)
+        result.nodes_replied.add(2)
+        assert result.complete
+
+    def test_no_targets_complete(self):
+        result = QueryResult(query=Query(time_range=(0.0, 1.0)))
+        assert result.complete
+        assert result.reply_fraction == 1.0

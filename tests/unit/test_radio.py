@@ -1,0 +1,195 @@
+"""Unit tests for the radio medium: loss, ACKs, CSMA, collisions, snooping."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.packets import BROADCAST, Frame, FrameKind
+from repro.sim.radio import Radio, RadioConfig
+from repro.sim.topology import from_loss_matrix, line, perfect
+
+
+class Listener:
+    """Minimal RadioListener recording everything it hears."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+        self.snooped = []
+
+    def on_receive(self, frame):
+        self.received.append(frame)
+
+    def on_snoop(self, frame):
+        self.snooped.append(frame)
+
+
+def build(topology, seed=0, config=None):
+    sim = Simulator(seed=seed)
+    radio = Radio(sim, topology, config=config)
+    listeners = [Listener(i) for i in range(topology.n)]
+    for listener in listeners:
+        radio.register(listener)
+    return sim, radio, listeners
+
+
+def data_frame(src, dst, payload_bytes=10):
+    class Payload:
+        def wire_bytes(self):
+            return payload_bytes
+
+    return Frame(src=src, dst=dst, kind=FrameKind.DATA, payload=Payload())
+
+
+class TestDelivery:
+    def test_broadcast_reaches_all_on_perfect_channel(self):
+        sim, radio, listeners = build(perfect(4))
+        radio.broadcast(data_frame(0, BROADCAST))
+        sim.run(1.0)
+        for listener in listeners[1:]:
+            assert len(listener.received) == 1
+
+    def test_unicast_delivered_and_acked(self):
+        sim, radio, listeners = build(perfect(3))
+        outcome = []
+        radio.unicast(data_frame(0, 1), done=outcome.append)
+        sim.run(1.0)
+        assert outcome == [True]
+        assert len(listeners[1].received) == 1
+
+    def test_unicast_to_unreachable_fails(self):
+        topo = from_loss_matrix([[1.0, 1.0], [1.0, 1.0]])  # no links
+        sim, radio, listeners = build(topo)
+        outcome = []
+        radio.unicast(data_frame(0, 1), done=outcome.append)
+        sim.run(5.0)
+        assert outcome == [False]
+        assert listeners[1].received == []
+
+    def test_total_loss_link_never_delivers(self):
+        topo = from_loss_matrix([[1.0, 0.98], [0.98, 1.0]])
+        sim, radio, listeners = build(topo, seed=1)
+        successes = 0
+        for _ in range(20):
+            radio.broadcast(data_frame(0, BROADCAST))
+            sim.run(sim.now + 1.0)
+        assert len(listeners[1].received) < 10  # ~2% delivery
+
+    def test_snoop_on_unicast_not_addressed_to_us(self):
+        sim, radio, listeners = build(perfect(3))
+        radio.unicast(data_frame(0, 1))
+        sim.run(1.0)
+        assert len(listeners[2].snooped) >= 1
+        assert listeners[2].received == []
+
+    def test_retransmission_until_ack(self):
+        # Forward link good, reverse (ACK) link lossy: sender retries.
+        topo = from_loss_matrix([[1.0, 0.0], [0.7, 1.0]])
+        sim, radio, listeners = build(topo, seed=3)
+        outcome = []
+        radio.unicast(data_frame(0, 1), done=outcome.append)
+        sim.run(5.0)
+        assert radio.stats.frames_sent >= 1
+        # dst certainly received (forward lossless)
+        assert len(listeners[1].received) >= 1
+
+    def test_max_retries_bounds_attempts(self):
+        config = RadioConfig(max_retries=2)
+        topo = from_loss_matrix([[1.0, 0.97], [0.97, 1.0]])
+        sim, radio, listeners = build(topo, seed=5, config=config)
+        outcome = []
+        radio.unicast(data_frame(0, 1), done=outcome.append)
+        sim.run(10.0)
+        data_sends = radio.stats.frames_sent - radio.stats.acks_sent
+        assert data_sends <= 3  # 1 try + 2 retries
+
+
+class TestQueueing:
+    def test_sender_serialises_own_frames(self):
+        sim, radio, listeners = build(perfect(2))
+        for _ in range(5):
+            radio.unicast(data_frame(0, 1))
+        sim.run(5.0)
+        assert len(listeners[1].received) == 5
+
+    def test_unregistered_sender_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, perfect(2))
+        with pytest.raises(ValueError):
+            radio.broadcast(data_frame(0, BROADCAST))
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, perfect(2))
+        radio.register(Listener(0))
+        with pytest.raises(ValueError):
+            radio.register(Listener(0))
+
+    def test_broadcast_requires_broadcast_dst(self):
+        sim, radio, _ = build(perfect(2))
+        with pytest.raises(ValueError):
+            radio.broadcast(data_frame(0, 1))
+
+    def test_unicast_requires_concrete_dst(self):
+        sim, radio, _ = build(perfect(2))
+        with pytest.raises(ValueError):
+            radio.unicast(data_frame(0, BROADCAST))
+
+
+class TestCollisions:
+    def test_hidden_terminal_collision(self):
+        # 0 and 2 cannot hear each other but both reach 1: simultaneous
+        # transmissions collide at 1.
+        topo = line(3)
+        sim, radio, listeners = build(topo, seed=7)
+        # Force near-simultaneous sends with large payloads (long airtime).
+        radio.broadcast(data_frame(0, BROADCAST, payload_bytes=29))
+        radio.broadcast(data_frame(2, BROADCAST, payload_bytes=29))
+        sim.run(1.0)
+        # Node 1 gets at most one of the two frames intact (often zero).
+        assert len(listeners[1].received) <= 1
+        assert radio.stats.collisions >= 1
+
+    def test_csma_avoids_mutually_audible_collisions(self):
+        sim, radio, listeners = build(perfect(3), seed=11)
+        for _ in range(10):
+            radio.broadcast(data_frame(0, BROADCAST, payload_bytes=29))
+            radio.broadcast(data_frame(1, BROADCAST, payload_bytes=29))
+            sim.run(sim.now + 0.5)
+        # With carrier sensing, most frames get through to node 2.
+        assert len(listeners[2].received) >= 14
+
+    def test_half_duplex_blocks_reception(self):
+        sim, radio, listeners = build(perfect(2), seed=13)
+        # Both transmit at the same instant: neither receives the other.
+        radio.broadcast(data_frame(0, BROADCAST, payload_bytes=29))
+        radio.broadcast(data_frame(1, BROADCAST, payload_bytes=29))
+        sim.run(0.05)
+        # CSMA initial backoff may serialise them; run enough and check
+        # stats exist rather than a fixed outcome.
+        assert radio.stats.frames_sent == 2
+
+
+class TestAccountingHooks:
+    def test_on_transmit_counts_every_attempt(self):
+        events = []
+        topo = from_loss_matrix([[1.0, 0.9], [0.0, 1.0]])
+        sim = Simulator(seed=17)
+        radio = Radio(sim, topo, on_transmit=lambda n, f: events.append((n, f.kind)))
+        for i in range(2):
+            radio.register(Listener(i))
+        radio.unicast(data_frame(0, 1))
+        sim.run(5.0)
+        data_attempts = [e for e in events if e[1] is FrameKind.DATA]
+        assert len(data_attempts) >= 1
+
+    def test_on_delivery_reports_receiver(self):
+        deliveries = []
+        sim = Simulator()
+        radio = Radio(
+            sim, perfect(3), on_delivery=lambda s, r, f: deliveries.append((s, r))
+        )
+        for i in range(3):
+            radio.register(Listener(i))
+        radio.broadcast(data_frame(0, BROADCAST))
+        sim.run(1.0)
+        assert (0, 1) in deliveries and (0, 2) in deliveries

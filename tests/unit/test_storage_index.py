@@ -1,0 +1,179 @@
+"""Unit tests for the storage index: lookup, compaction, chunking."""
+
+import pytest
+
+from repro.core.config import ValueDomain
+from repro.core.messages import MAX_ENTRIES_PER_CHUNK
+from repro.core.storage_index import STORE_LOCAL, RangeEntry, StorageIndex
+
+
+DOMAIN = ValueDomain(0, 9)
+
+
+def simple_index(sid=1):
+    owners = [1, 1, 1, 2, 2, 3, 3, 3, 3, 1]
+    return StorageIndex.single_owner(sid, DOMAIN, owners)
+
+
+class TestLookup:
+    def test_owner_of(self):
+        index = simple_index()
+        assert index.owner_of(0) == 1
+        assert index.owner_of(4) == 2
+        assert index.owner_of(8) == 3
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            simple_index().owner_of(10)
+
+    def test_values_owned_by(self):
+        index = simple_index()
+        assert index.values_owned_by(2) == [3, 4]
+        assert index.values_owned_by(1) == [0, 1, 2, 9]
+        assert index.values_owned_by(99) == []
+
+    def test_owners_for_range(self):
+        index = simple_index()
+        assert index.owners_for_range(3, 6) == frozenset({2, 3})
+        assert index.owners_for_range(-5, 100) == frozenset({1, 2, 3})
+
+    def test_all_owners(self):
+        assert simple_index().all_owners() == frozenset({1, 2, 3})
+
+    def test_uniform_is_send_to_base(self):
+        index = StorageIndex.uniform(1, DOMAIN, 0)
+        assert index.is_send_to_base(0)
+        assert not simple_index().is_send_to_base(0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            StorageIndex.single_owner(1, DOMAIN, [1, 2])
+
+    def test_empty_owner_set_rejected(self):
+        with pytest.raises(ValueError):
+            StorageIndex(1, DOMAIN, [()] * DOMAIN.size)
+
+
+class TestCompaction:
+    def test_coalesces_consecutive(self):
+        entries = simple_index().compact()
+        assert [(e.lo, e.hi, e.owners) for e in entries] == [
+            (0, 2, (1,)),
+            (3, 4, (2,)),
+            (5, 8, (3,)),
+            (9, 9, (1,)),
+        ]
+
+    def test_single_owner_one_range(self):
+        index = StorageIndex.uniform(1, DOMAIN, 7)
+        entries = index.compact()
+        assert len(entries) == 1
+        assert entries[0] == RangeEntry(0, 9, (7,))
+
+    def test_alternating_owners_max_ranges(self):
+        owners = [1, 2] * 5
+        index = StorageIndex.single_owner(1, DOMAIN, owners)
+        assert len(index.compact()) == 10
+
+    def test_range_entry_validation(self):
+        with pytest.raises(ValueError):
+            RangeEntry(5, 3, (1,))
+        with pytest.raises(ValueError):
+            RangeEntry(1, 2, ())
+
+
+class TestChunking:
+    def test_roundtrip(self):
+        index = simple_index(sid=7)
+        chunks = index.to_chunks()
+        rebuilt = StorageIndex.from_chunks(DOMAIN, chunks)
+        assert rebuilt == index
+
+    def test_chunk_size_limit(self):
+        owners = list(range(1, 11))  # 10 distinct ranges
+        index = StorageIndex.single_owner(3, DOMAIN, owners)
+        chunks = index.to_chunks(max_entries=3)
+        assert all(len(c.entries) <= 3 for c in chunks)
+        assert StorageIndex.from_chunks(DOMAIN, chunks) == index
+
+    def test_default_chunk_capacity(self):
+        index = simple_index()
+        chunks = index.to_chunks()
+        assert all(len(c.entries) <= MAX_ENTRIES_PER_CHUNK for c in chunks)
+
+    def test_missing_chunk_rejected(self):
+        chunks = StorageIndex.single_owner(1, DOMAIN, list(range(1, 11))).to_chunks(
+            max_entries=2
+        )
+        with pytest.raises(ValueError):
+            StorageIndex.from_chunks(DOMAIN, chunks[:-1])
+
+    def test_mixed_sids_rejected(self):
+        a = simple_index(sid=1).to_chunks()
+        b = simple_index(sid=2).to_chunks()
+        with pytest.raises(ValueError):
+            StorageIndex.from_chunks(DOMAIN, [b[0]] + a[1:]) if len(a) > 1 else (
+                _ for _ in ()
+            ).throw(ValueError())
+
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            StorageIndex.from_chunks(DOMAIN, [])
+
+    def test_owner_sets_roundtrip(self):
+        owners = [(1, 2)] * 5 + [(3,)] * 5
+        index = StorageIndex(4, DOMAIN, owners)
+        rebuilt = StorageIndex.from_chunks(DOMAIN, index.to_chunks())
+        for v in DOMAIN:
+            assert set(rebuilt.owners_of(v)) == set(index.owners_of(v))
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        assert simple_index(1).similarity(simple_index(2)) == 1.0
+
+    def test_disjoint_is_zero(self):
+        a = StorageIndex.uniform(1, DOMAIN, 1)
+        b = StorageIndex.uniform(2, DOMAIN, 2)
+        assert a.similarity(b) == 0.0
+
+    def test_partial(self):
+        a = StorageIndex.single_owner(1, DOMAIN, [1] * 10)
+        b = StorageIndex.single_owner(2, DOMAIN, [1] * 6 + [2] * 4)
+        assert a.similarity(b) == pytest.approx(0.6)
+
+    def test_different_domains_zero(self):
+        a = StorageIndex.uniform(1, DOMAIN, 1)
+        b = StorageIndex.uniform(1, ValueDomain(0, 4), 1)
+        assert a.similarity(b) == 0.0
+
+    def test_store_local_sentinel(self):
+        index = StorageIndex.uniform(1, DOMAIN, STORE_LOCAL)
+        assert STORE_LOCAL in index.owners_for_range(0, 9)
+
+
+class TestValueDomain:
+    def test_size_and_contains(self):
+        d = ValueDomain(5, 9)
+        assert d.size == 5
+        assert 5 in d and 9 in d and 4 not in d
+
+    def test_clamp(self):
+        d = ValueDomain(0, 10)
+        assert d.clamp(-5) == 0
+        assert d.clamp(50) == 10
+        assert d.clamp(7) == 7
+
+    def test_index_of(self):
+        d = ValueDomain(10, 20)
+        assert d.index_of(10) == 0
+        assert d.index_of(20) == 10
+        with pytest.raises(ValueError):
+            d.index_of(9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ValueDomain(5, 4)
+
+    def test_iteration(self):
+        assert list(ValueDomain(1, 3)) == [1, 2, 3]
