@@ -1,49 +1,50 @@
-"""Shared benchmark harness: cached experiment runs and table output.
+"""Shared benchmark harness: campaign-backed cached runs and table output.
 
-Experiments are deterministic in their spec, so repeated specs across
-benchmark files (e.g. the default scoop/real trial appears in Figure 3
-middle, the loss-rate table and the root-skew table) run once per pytest
-session. Every benchmark writes its rendered table to
+Benchmarks execute through the campaign engine
+(:mod:`repro.experiments.campaign`): every trial is keyed by its canonical
+spec hash and served from the persistent on-disk cache under
+``benchmarks/results/cache/`` when available, so repeated specs across
+benchmark files — and across pytest sessions — run at most once. Set
+``REPRO_BENCH_JOBS=N`` to fan a benchmark's trials out over N worker
+processes (results are identical to a serial run), and delete the cache
+directory (or ``python -m repro.experiments clear-cache``) after changing
+simulator code. Every benchmark writes its rendered table to
 ``benchmarks/results/<name>.txt`` and prints it, so a benchmark run leaves
 the regenerated figures on disk.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import os
 from pathlib import Path
-from typing import Dict, List
+from typing import Iterable, List
 
-from repro.experiments.runner import (
-    ExperimentResult,
-    ExperimentSpec,
-    run_experiment,
-    run_hash_analytical,
+from repro.experiments.cache import ResultCache
+from repro.experiments.campaign import (
+    Campaign,
+    default_analytical,
+    run_cached,
+    run_campaign,
 )
+from repro.experiments.runner import ExperimentResult, ExperimentSpec
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-_CACHE: Dict[str, ExperimentResult] = {}
+#: One shared memory-over-disk cache for the whole benchmark session.
+CACHE = ResultCache()
 
 
-def _spec_key(spec: ExperimentSpec, analytical: bool = False) -> str:
-    return repr((dataclasses.asdict(spec), analytical))
+def _jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 def cached_run(spec: ExperimentSpec) -> ExperimentResult:
     """Run (or reuse) one simulated trial."""
-    key = _spec_key(spec)
-    if key not in _CACHE:
-        _CACHE[key] = run_experiment(spec)
-    return _CACHE[key]
+    return run_cached(spec, analytical=False, cache=CACHE)
 
 
 def cached_hash_analytical(spec: ExperimentSpec) -> ExperimentResult:
-    key = _spec_key(spec, analytical=True)
-    if key not in _CACHE:
-        _CACHE[key] = run_hash_analytical(spec)
-    return _CACHE[key]
+    return run_cached(spec, analytical=True, cache=CACHE)
 
 
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:
@@ -51,9 +52,17 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     in the paper ("we evaluate the cost of this HASH approach
     analytically"); set REPRO_HASH_SIMULATED=1 to run the simulated HASH
     extension instead."""
-    if spec.policy == "hash" and not os.environ.get("REPRO_HASH_SIMULATED"):
-        return cached_hash_analytical(spec)
-    return cached_run(spec)
+    return run_cached(spec, analytical=default_analytical(spec), cache=CACHE)
+
+
+def run_specs(specs: Iterable[ExperimentSpec]) -> List[ExperimentResult]:
+    """Run a batch of specs as one campaign, in input order.
+
+    Cache hits are free; misses run serially or across ``REPRO_BENCH_JOBS``
+    worker processes.
+    """
+    campaign = Campaign.from_specs("bench", list(specs))
+    return run_campaign(campaign, jobs=_jobs(), cache=CACHE).results
 
 
 def emit(name: str, text: str) -> None:

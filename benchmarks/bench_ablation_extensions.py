@@ -6,7 +6,7 @@ same values (each ships to a nearby owner); range placement trades index
 granularity for fewer mapping chunks.
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import ablation_extensions
@@ -14,7 +14,8 @@ from repro.experiments.scenarios import ablation_extensions
 
 def test_ablation_extensions(benchmark):
     def run():
-        return {name: run_spec(spec) for name, spec in ablation_extensions().items()}
+        variants = ablation_extensions()
+        return dict(zip(variants, run_specs(variants.values())))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     # Results are cached and shared across benchmark files: never mutate

@@ -6,7 +6,7 @@ minutes"). Faster remaps track drifting data better (fewer owner misses)
 but cost more mapping messages.
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import ablation_statistics
@@ -16,10 +16,9 @@ INTERVALS = (120.0, 240.0, 480.0)
 
 def test_ablation_statistics(benchmark):
     def run():
-        return {
-            interval: run_spec(spec)
-            for interval, spec in ablation_statistics(remap_intervals=INTERVALS)
-        }
+        grid = ablation_statistics(remap_intervals=INTERVALS)
+        results = run_specs([spec for _, spec in grid])
+        return dict(zip([interval for interval, _ in grid], results))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []

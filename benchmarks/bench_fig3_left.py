@@ -6,7 +6,7 @@ scoop/gaussian beats both LOCAL and BASE despite its summary and mapping
 overheads.
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import breakdown_table
 from repro.experiments.scenarios import fig3_left
@@ -14,7 +14,7 @@ from repro.experiments.scenarios import fig3_left
 
 def test_fig3_left(benchmark):
     def run():
-        return [run_spec(spec) for spec in fig3_left()]
+        return run_specs(fig3_left())
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

@@ -6,7 +6,7 @@ HASH approach analytically"). Expected shape: SCOOP well below every
 baseline; HASH comparable to BASE.
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import breakdown_table
 from repro.experiments.scenarios import fig3_middle
@@ -14,7 +14,7 @@ from repro.experiments.scenarios import fig3_middle
 
 def test_fig3_middle(benchmark):
     def run():
-        return [run_spec(spec) for spec in fig3_middle()]
+        return run_specs(fig3_middle())
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

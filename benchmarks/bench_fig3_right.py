@@ -6,7 +6,7 @@ Scoop "performs no better than BASE or HASH" because there is no
 predictability to exploit; REAL and GAUSSIAN sit in between.
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import breakdown_table
 from repro.experiments.scenarios import fig3_right
@@ -14,7 +14,7 @@ from repro.experiments.scenarios import fig3_right
 
 def test_fig3_right(benchmark):
     def run():
-        return [run_spec(spec) for spec in fig3_right()]
+        return run_specs(fig3_right())
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

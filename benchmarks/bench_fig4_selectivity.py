@@ -8,7 +8,7 @@ percentages ("around 60%, [Scoop] becomes slightly more expensive than
 BASE").
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import series_table
 from repro.experiments.scenarios import fig4_selectivity
@@ -18,9 +18,15 @@ FRACTIONS = (0.05, 0.25, 0.60, 1.00)
 
 def test_fig4_selectivity(benchmark):
     def run():
+        grid = [
+            (frac, spec)
+            for frac, specs in fig4_selectivity(fractions=FRACTIONS)
+            for spec in specs
+        ]
+        results = run_specs([spec for _, spec in grid])
         table = {}
-        for frac, specs in fig4_selectivity(fractions=FRACTIONS):
-            table[frac] = {s.policy: run_spec(s) for s in specs}
+        for (frac, spec), result in zip(grid, results):
+            table.setdefault(frac, {})[spec.policy] = result
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -5,7 +5,7 @@ zero in BASE, only LOCAL is substantially affected by this; as the query
 rate drops, it becomes a more attractive option relative to the others."
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import series_table
 from repro.experiments.scenarios import fig5_query_interval
@@ -15,9 +15,15 @@ INTERVALS = (5.0, 15.0, 45.0)
 
 def test_fig5_query_interval(benchmark):
     def run():
+        grid = [
+            (interval, spec)
+            for interval, specs in fig5_query_interval(intervals=INTERVALS)
+            for spec in specs
+        ]
+        results = run_specs([spec for _, spec in grid])
         table = {}
-        for interval, specs in fig5_query_interval(intervals=INTERVALS):
-            table[interval] = {s.policy: run_spec(s) for s in specs}
+        for (interval, spec), result in zip(grid, results):
+            table.setdefault(interval, {})[spec.policy] = result
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)

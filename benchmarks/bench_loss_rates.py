@@ -6,7 +6,7 @@ about 78% of query results are successfully retrieved on average"; "about
 remaining 15% of the time, the value ends up being stored at the root".
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import rates_table
 from repro.experiments.scenarios import loss_rates
@@ -14,7 +14,7 @@ from repro.experiments.scenarios import loss_rates
 
 def test_loss_rates(benchmark):
     result = benchmark.pedantic(
-        lambda: run_spec(loss_rates()), rounds=1, iterations=1
+        lambda: run_specs([loss_rates()])[0], rounds=1, iterations=1
     )
     emit("loss_rates", rates_table(result, "Section 6: Scoop loss rates (REAL)"))
 

@@ -7,7 +7,7 @@ months, although the battery on the root in SCOOP would have to be replaced
 every two weeks."
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import root_skew
@@ -15,7 +15,8 @@ from repro.experiments.scenarios import root_skew
 
 def test_root_skew(benchmark):
     def run():
-        return {spec.policy: run_spec(spec) for spec in root_skew()}
+        specs = root_skew()
+        return dict(zip([s.policy for s in specs], run_specs(specs)))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []

@@ -5,7 +5,7 @@ on different types of data are less pronounced as the cost of queries,
 mappings, and summaries becomes dominant."
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import sample_interval_sweep
@@ -15,9 +15,15 @@ INTERVALS = (15.0, 60.0)
 
 def test_sample_interval(benchmark):
     def run():
+        grid = [
+            (interval, spec)
+            for interval, specs in sample_interval_sweep(intervals=INTERVALS)
+            for spec in specs
+        ]
+        results = run_specs([spec for _, spec in grid])
         table = {}
-        for interval, specs in sample_interval_sweep(intervals=INTERVALS):
-            table[interval] = {s.workload: run_spec(s) for s in specs}
+        for (interval, spec), result in zip(grid, results):
+            table.setdefault(interval, {})[spec.workload] = result
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -6,7 +6,7 @@ sensitive to larger networks as data is sent further across the network;
 Scoop over other distributions is less sensitive to network size."
 """
 
-from _harness import emit, run_spec
+from _harness import emit, run_specs
 
 from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import scaling
@@ -16,9 +16,13 @@ SIZES = (25, 63, 100)
 
 def test_scaling(benchmark):
     def run():
+        grid = [
+            (n, spec) for n, specs in scaling(sizes=SIZES) for spec in specs
+        ]
+        results = run_specs([spec for _, spec in grid])
         table = {}
-        for n, specs in scaling(sizes=SIZES):
-            table[n] = {s.workload: run_spec(s) for s in specs}
+        for (n, spec), result in zip(grid, results):
+            table.setdefault(n, {})[spec.workload] = result
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)

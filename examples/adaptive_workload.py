@@ -18,12 +18,9 @@ Usage:
     python examples/adaptive_workload.py
 """
 
-import statistics
-
-from repro.core.basestation import Basestation
 from repro.core.config import ScoopConfig, ValueDomain
-from repro.core.node import ScoopNode
 from repro.core.query import Query
+from repro.experiments import ExperimentSpec, build_motes
 from repro.sim.network import Network
 from repro.sim.topology import line
 from repro.workloads.synthetic import UniqueWorkload
@@ -52,17 +49,10 @@ def main() -> None:
     )
     network = Network(line(N), seed=3)
     workload = UniqueWorkload(config.domain, N)
-    base = Basestation(network.sim, network.radio, config, tracker=network.tracker)
-    nodes = [
-        ScoopNode(
-            i, network.sim, network.radio, config,
-            data_source=workload.as_data_source(), tracker=network.tracker,
-        )
-        for i in config.sensor_ids
-    ]
-    network.add_mote(base)
-    for node in nodes:
-        network.add_mote(node)
+    # The policy registry wires the full SCOOP stack (swap the policy name
+    # to watch a baseline instead).
+    spec = ExperimentSpec(policy="scoop", workload="unique", scoop=config, seed=3)
+    base, nodes = build_motes(spec, network, workload)
 
     network.boot_all(within=5.0)
     network.run(config.stabilization)

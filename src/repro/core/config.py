@@ -8,8 +8,79 @@ corresponding figure varies.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import hashlib
+import json
+import typing
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
+
+
+def dataclass_to_dict(obj) -> Dict[str, object]:
+    """Generic dataclass → JSON-ready dict.
+
+    Nested objects exposing ``to_dict`` recurse; tuples become lists.
+    Field enumeration is automatic, so fields added later flow into the
+    canonical cache key without touching serialization code (pair with
+    :func:`dataclass_from_dict`, which restores tuple-typed fields from
+    the class's type hints).
+    """
+    out: Dict[str, object] = {}
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        if hasattr(value, "to_dict"):
+            value = value.to_dict()
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def _tuple_fields(cls) -> frozenset:
+    return frozenset(
+        name
+        for name, hint in typing.get_type_hints(cls).items()
+        if typing.get_origin(hint) is tuple
+    )
+
+
+def dataclass_from_dict(
+    cls,
+    data: Dict[str, object],
+    converters: Optional[Dict[str, Callable]] = None,
+):
+    """Inverse of :func:`dataclass_to_dict`.
+
+    ``converters`` maps field names to value converters (for nested
+    dataclasses); every other list-valued field declared as a tuple is
+    restored to a tuple automatically.
+    """
+    tuple_fields = _tuple_fields(cls)
+    kwargs: Dict[str, object] = {}
+    for name, value in data.items():
+        if converters and name in converters:
+            value = converters[name](value)
+        elif name in tuple_fields and isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def canonical_key(payload: object) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``.
+
+    The canonical form (sorted keys, minimal separators, ASCII) is stable
+    across processes and Python versions, unlike ``repr`` of nested
+    dataclasses — this is what keys the persistent experiment-result
+    cache, so two processes computing a key for the same spec must agree
+    byte-for-byte.
+    """
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -44,6 +115,13 @@ class ValueDomain:
         if value not in self:
             raise ValueError(f"value {value} outside domain [{self.lo}, {self.hi}]")
         return value - self.lo
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"lo": self.lo, "hi": self.hi}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ValueDomain":
+        return cls(lo=int(data["lo"]), hi=int(data["hi"]))
 
 
 @dataclass
@@ -168,6 +246,16 @@ class ScoopConfig:
         lo, hi = self.query_width_frac
         if not (0 < lo <= hi <= 1):
             raise ValueError("query_width_frac must satisfy 0 < lo <= hi <= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScoopConfig":
+        return dataclass_from_dict(
+            cls, data, converters={"domain": ValueDomain.from_dict}
+        )
 
     @property
     def basestation_id(self) -> int:

@@ -1,0 +1,138 @@
+"""Campaign CLI: run the paper's experiment grids from the command line.
+
+Usage:
+    python -m repro.experiments run <scenario>|all [--jobs N] [--seeds K]
+                                    [--base-seed B] [--scale S]
+                                    [--cache-dir DIR] [--no-cache] [--refresh]
+    python -m repro.experiments list
+    python -m repro.experiments clear-cache [--cache-dir DIR]
+
+Scenarios are the named grids of ``scenarios.py`` (E/A experiment ids from
+DESIGN.md work as aliases). ``--seeds K`` replicates every trial over K
+seeds and reports mean/stdev per trial label; ``--jobs N`` fans the runs
+out over N worker processes — results are identical to a serial run.
+Completed trials land in the persistent result cache, so re-running a
+campaign is free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.cache import ResultCache, default_cache_root
+from repro.experiments.campaign import Campaign, run_campaign
+from repro.experiments.reporting import campaign_table
+from repro.experiments.scenarios import (
+    SCENARIO_ALIASES,
+    bench_scale,
+    scenario_names,
+    scenario_trials,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run paper experiment scenarios as cached, parallel campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario (or 'all') as a campaign")
+    run.add_argument("scenario", help="scenario name, E/A experiment id, or 'all'")
+    run.add_argument("--jobs", type=int, default=1, help="worker processes")
+    run.add_argument("--seeds", type=int, default=1, help="seeds per trial")
+    run.add_argument("--base-seed", type=int, default=1, help="first seed")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="time-scale factor (overrides REPRO_BENCH_SCALE and REPRO_FULL; "
+        "default: REPRO_BENCH_SCALE)",
+    )
+    run.add_argument("--cache-dir", default=None, help="result cache directory")
+    run.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    run.add_argument(
+        "--refresh", action="store_true", help="re-run trials even on cache hits"
+    )
+
+    sub.add_parser("list", help="list scenarios and their trial grids")
+
+    clear = sub.add_parser("clear-cache", help="delete all cached results")
+    clear.add_argument("--cache-dir", default=None, help="result cache directory")
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"scenarios (trial counts at scale {bench_scale():g}, one seed):")
+    aliases = {v: k for k, v in SCENARIO_ALIASES.items()}
+    for name in scenario_names():
+        trials = scenario_trials(name)
+        alias = f" [{aliases[name]}]" if name in aliases else ""
+        print(f"  {name}{alias}: {len(trials)} trials")
+    print(f"\nresult cache: {default_cache_root()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario == "all":
+        names = [n for n in scenario_names() if n != "smoke"]
+    else:
+        names = [args.scenario]
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+    status = 0
+    for name in names:
+        try:
+            campaign = Campaign.from_scenario(name, seeds=seeds, scale=args.scale)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        try:
+            out = run_campaign(
+                campaign,
+                jobs=args.jobs,
+                cache=cache,
+                use_cache=not args.no_cache,
+                refresh=args.refresh,
+            )
+        except Exception as exc:  # a failed trial fails the campaign
+            print(f"error: campaign {name!r} failed: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        elapsed = time.perf_counter() - started
+        print(
+            campaign_table(
+                out.aggregates(),
+                f"campaign {name}: seeds {list(seeds)}, jobs {args.jobs}",
+            )
+        )
+        print(
+            f"{len(out.trials)} trials: {out.executed} executed, "
+            f"{out.cached} cache hits, {elapsed:.1f}s\n"
+        )
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "clear-cache":
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

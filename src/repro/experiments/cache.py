@@ -1,0 +1,136 @@
+"""Persistent on-disk experiment-result cache.
+
+Experiments are deterministic in their spec, so a result computed once is
+valid forever (for a given code schema). The cache stores one JSON file
+per canonical spec key (:func:`repro.experiments.runner.spec_key`) under
+``benchmarks/results/cache/`` and layers an in-process dict on top, so
+
+- repeated specs within one pytest session hit memory,
+- repeated specs across sessions / CLI runs hit disk,
+- parallel campaign workers in other processes see completed entries.
+
+Invalidation: entries key on ``SPEC_SCHEMA_VERSION`` plus the full spec
+content, so changing any parameter (including time scale) is a miss;
+changing the serialization schema orphans old entries, which are ignored.
+Entries do NOT key on simulator code — after changing simulation logic,
+delete the cache directory (or run ``python -m repro.experiments
+clear-cache``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.experiments.runner import ExperimentResult
+
+#: Format version of the cache files themselves.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``<repo>/benchmarks/results/cache``.
+
+    When the package is installed outside a repo checkout (no
+    ``benchmarks/`` directory next to ``src/``), fall back to the current
+    working directory rather than a path inside the Python prefix.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    repo = Path(__file__).resolve().parents[3]
+    if (repo / "benchmarks").is_dir():
+        return repo / "benchmarks" / "results" / "cache"
+    return Path.cwd() / "benchmarks" / "results" / "cache"
+
+
+class ResultCache:
+    """Memory-over-disk cache of :class:`ExperimentResult` by spec key."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self._memory: Dict[str, ExperimentResult] = {}
+        self._warned_unwritable = False
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or None on miss/stale entry."""
+        if key in self._memory:
+            return self._memory[key]
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            result = ExperimentResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, or written by an incompatible version:
+            # treat as a miss and recompute.
+            return None
+        self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> None:
+        """Store ``result`` in memory and durably on disk.
+
+        An unwritable cache directory degrades to memory-only (with one
+        warning) instead of raising: a campaign must never discard
+        minutes of computed results over a persistence failure.
+        """
+        self._memory[key] = result
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        tmp = self.root / f"{key}.{os.getpid()}.tmp"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent writers (parallel campaigns,
+            # parallel pytest sessions) race benignly — last rename wins
+            # with identical content, and readers never see a
+            # half-written file.
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, self._path(key))
+        except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            if not self._warned_unwritable:
+                self._warned_unwritable = True
+                warnings.warn(
+                    f"result cache at {self.root} is not writable ({exc}); "
+                    "results are kept in memory only for this process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def clear(self) -> int:
+        """Drop memory and delete all disk entries; returns entries removed."""
+        self._memory.clear()
+        removed = 0
+        if self.root.is_dir():
+            # *.tmp sweeps up leftovers from writers killed mid-publish.
+            for pattern in ("*.json", "*.tmp"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def disk_entries(self) -> int:
+        """Number of cache files currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -63,6 +63,27 @@ def series_table(
     return format_table(headers, rows, title=title)
 
 
+def campaign_table(aggregates, title: str) -> str:
+    """Per-label campaign summary: seeds, mean±stdev total, category means.
+
+    ``aggregates`` is the output of
+    :meth:`repro.experiments.campaign.CampaignResult.aggregates`.
+    """
+    headers = ["trial", "seeds", "total (mean)", "total (sd)", *CATEGORIES]
+    rows = []
+    for agg in aggregates:
+        rows.append(
+            [
+                agg.label,
+                agg.n,
+                f"{agg.mean_total:.0f}",
+                f"{agg.stdev_total:.1f}",
+                *[f"{agg.mean_breakdown.get(c, 0.0):.0f}" for c in CATEGORIES],
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
 def rates_table(result: ExperimentResult, title: str) -> str:
     headers = ["metric", "measured", "paper"]
     rows = [

@@ -19,26 +19,33 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.baselines.hash_static import (
-    AnalyticalHashModel,
-    HashBasestation,
-    HashNode,
-    build_hash_index,
-)
-from repro.baselines.local import LocalBasestation, LocalNode
-from repro.baselines.send_base import SendToBaseBasestation, SendToBaseNode
+from repro.baselines.hash_static import AnalyticalHashModel
 from repro.core.basestation import Basestation
-from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.config import (
+    ScoopConfig,
+    ValueDomain,
+    canonical_key,
+    dataclass_from_dict,
+    dataclass_to_dict,
+)
 from repro.core.node import ScoopNode
 from repro.core.query import QueryResult
+from repro.experiments.registry import is_registered, known_policies, policy_factory
 from repro.sim.network import Network
 from repro.sim.packets import FrameKind
 from repro.sim.topology import Topology, indoor_testbed, random_geometric
-from repro.workloads import Workload, make_workload
+from repro.workloads import WORKLOAD_NAMES, Workload, make_workload
 from repro.workloads.queries import QueryGenerator, QueryPlanConfig
 
-#: The storage policies of the paper's experiments (Section 6 table).
+#: The storage policies of the paper's experiments (Section 6 table). The
+#: live set (including plug-in policies) is
+#: :func:`repro.experiments.registry.known_policies`.
 POLICIES = ("scoop", "local", "base", "hash")
+
+#: Bumped whenever spec/result serialization changes shape, so stale
+#: entries in the persistent result cache miss instead of deserializing
+#: garbage.
+SPEC_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -55,8 +62,52 @@ class ExperimentSpec:
     topology_kind: str = "testbed"
 
     def __post_init__(self) -> None:
-        if self.policy not in POLICIES:
-            raise ValueError(f"unknown policy {self.policy!r}; one of {POLICIES}")
+        if not is_registered(self.policy):
+            raise ValueError(
+                f"unknown policy {self.policy!r}; one of {known_policies()}"
+            )
+        if self.workload not in WORKLOAD_NAMES:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; one of {WORKLOAD_NAMES}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping; inverse of :meth:`from_dict`.
+
+        This (not ``repr``/``asdict``) is the canonical serialization:
+        it feeds :func:`spec_key` and the persistent result cache, and it
+        is how specs cross process boundaries in parallel campaigns.
+        Generic field enumeration, so future fields automatically enter
+        the cache key.
+        """
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
+        return dataclass_from_dict(
+            cls,
+            data,
+            converters={
+                "scoop": ScoopConfig.from_dict,
+                "query_plan": QueryPlanConfig.from_dict,
+            },
+        )
+
+
+def spec_key(spec: ExperimentSpec, analytical: bool = False) -> str:
+    """Canonical SHA-256 key of one trial (spec + evaluation mode).
+
+    Stable across processes and sessions — the key of the persistent
+    result cache. ``analytical`` distinguishes the paper's analytical
+    HASH evaluation from a simulated run of the same spec.
+    """
+    return canonical_key(
+        {
+            "schema": SPEC_SCHEMA_VERSION,
+            "analytical": bool(analytical),
+            "spec": spec.to_dict(),
+        }
+    )
 
 
 @dataclass
@@ -95,6 +146,18 @@ class ExperimentResult:
     def workload(self) -> str:
         return self.spec.workload
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        return dataclass_from_dict(
+            cls,
+            data,
+            converters={"spec": ExperimentSpec.from_dict, "breakdown": dict},
+        )
+
 
 def scale_spec(spec: ExperimentSpec, factor: float) -> ExperimentSpec:
     """Shrink the experiment timeline by ``factor`` for quick runs.
@@ -122,41 +185,16 @@ def build_topology(spec: ExperimentSpec) -> Topology:
     raise ValueError(f"unknown topology kind {spec.topology_kind!r}")
 
 
-def _build_motes(
+def build_motes(
     spec: ExperimentSpec, net: Network, workload: Workload
 ) -> Tuple[Basestation, List[ScoopNode]]:
-    config = spec.scoop
-    source = workload.as_data_source()
-    common = dict(config=config, tracker=net.tracker, energy=net.energy)
-    if spec.policy == "scoop":
-        base = Basestation(net.sim, net.radio, **common)
-        nodes = [
-            ScoopNode(i, net.sim, net.radio, data_source=source, **common)
-            for i in config.sensor_ids
-        ]
-    elif spec.policy == "local":
-        base = LocalBasestation(net.sim, net.radio, **common)
-        nodes = [
-            LocalNode(i, net.sim, net.radio, data_source=source, **common)
-            for i in config.sensor_ids
-        ]
-    elif spec.policy == "base":
-        base = SendToBaseBasestation(net.sim, net.radio, **common)
-        nodes = [
-            SendToBaseNode(i, net.sim, net.radio, data_source=source, **common)
-            for i in config.sensor_ids
-        ]
-    elif spec.policy == "hash":
-        index = build_hash_index(config, salt=spec.seed)
-        base = HashBasestation(net.sim, net.radio, hash_index=index, **common)
-        nodes = [
-            HashNode(
-                i, net.sim, net.radio, data_source=source, hash_index=index, **common
-            )
-            for i in config.sensor_ids
-        ]
-    else:  # pragma: no cover - guarded by ExperimentSpec
-        raise ValueError(spec.policy)
+    """Instantiate and wire the motes of ``spec.policy`` into ``net``.
+
+    Dispatches through the policy registry, so plug-in policies
+    (``register_policy``) run through the exact same pipeline as the
+    paper's four.
+    """
+    base, nodes = policy_factory(spec.policy)(spec, net, workload)
     net.add_mote(base)
     for node in nodes:
         net.add_mote(node)
@@ -183,7 +221,7 @@ def run_experiment(
         seed=spec.seed,
         positions=topo.positions,
     )
-    base, nodes = _build_motes(spec, net, workload)
+    base, nodes = build_motes(spec, net, workload)
 
     # Phase 1: boot and stabilize the routing tree (paper: 10 minutes of
     # heartbeats before sampling starts).

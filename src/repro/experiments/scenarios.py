@@ -2,7 +2,7 @@
 
 Each scenario function returns the list of :class:`ExperimentSpec` trials
 that regenerate the corresponding figure, at a time scale controlled by the
-``REPRO_BENCH_SCALE`` environment variable (default 0.25 of the paper's
+``REPRO_BENCH_SCALE`` environment variable (default 0.15 of the paper's
 40-minute runs so the whole benchmark suite finishes in minutes; set
 ``REPRO_BENCH_SCALE=1`` or ``REPRO_FULL=1`` for paper-scale runs). Scaling
 shrinks only the duration — all rates stay at the paper's values — so the
@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.config import ScoopConfig, ValueDomain
 from repro.experiments.runner import ExperimentSpec, scale_spec
@@ -197,3 +197,133 @@ def ablation_statistics(
         (interval, _spec("scoop", "real", REAL_DOMAIN, seed, remap_interval=interval))
         for interval in remap_intervals
     ]
+
+
+# ----------------------------------------------------------------------
+# SMOKE — a minutes-scale micro-grid for CI and engine tests
+# ----------------------------------------------------------------------
+def smoke(seed: int = 1) -> List[ExperimentSpec]:
+    """Three policies on a 14-node network with short timers.
+
+    Unlike the paper scenarios this ignores ``REPRO_BENCH_SCALE``: it is
+    already as small as the topology generator reliably supports, and CI
+    plus the campaign-engine tests rely on its few-second runtime.
+    """
+    config = dict(
+        n_nodes=14,
+        domain=ValueDomain(0, 20),
+        sample_interval=5.0,
+        query_interval=10.0,
+        summary_interval=20.0,
+        remap_interval=40.0,
+        stabilization=60.0,
+        duration=120.0,
+        beacon_interval=5.0,
+        query_reply_window=8.0,
+    )
+    return [
+        ExperimentSpec(
+            policy=policy,
+            workload="gaussian",
+            scoop=ScoopConfig(**config),
+            seed=seed,
+        )
+        for policy in ("scoop", "local", "base")
+    ]
+
+
+# ----------------------------------------------------------------------
+# Campaign-facing registry: scenario name -> labelled trial list
+# ----------------------------------------------------------------------
+#
+# The figure functions above keep their paper-shaped return types (lists,
+# (x, specs) series, dicts) for the benchmarks; the campaign engine needs
+# one uniform shape. Each entry maps a scenario name to a builder
+# ``f(seed) -> [(label, spec), ...]`` where the label identifies the trial
+# *within* the scenario (seeds of the same label aggregate together).
+
+LabelledSpecs = List[Tuple[str, ExperimentSpec]]
+
+
+def _policy_labels(specs: Iterable[ExperimentSpec]) -> LabelledSpecs:
+    return [(f"{s.policy}/{s.workload}", s) for s in specs]
+
+
+def _series_labels(prefix: str, series, fmt: str = "{:g}") -> LabelledSpecs:
+    out: LabelledSpecs = []
+    for x, specs in series:
+        for s in specs:
+            out.append((f"{prefix}={fmt.format(x)}/{s.policy}/{s.workload}", s))
+    return out
+
+
+def _trials_fig4(seed: int) -> LabelledSpecs:
+    return [
+        (f"frac={frac:g}/{s.policy}", s)
+        for frac, specs in fig4_selectivity(seed)
+        for s in specs
+    ]
+
+
+def _trials_loss_rates(seed: int) -> LabelledSpecs:
+    spec = loss_rates(seed)
+    return [(f"{spec.policy}/{spec.workload}", spec)]
+
+
+def _trials_ablation_extensions(seed: int) -> LabelledSpecs:
+    return list(ablation_extensions(seed).items())
+
+
+def _trials_ablation_statistics(seed: int) -> LabelledSpecs:
+    return [
+        (f"remap={interval:g}s", spec)
+        for interval, spec in ablation_statistics(seed)
+    ]
+
+
+SCENARIOS: Dict[str, Callable[[int], LabelledSpecs]] = {
+    "fig3_left": lambda seed: _policy_labels(fig3_left(seed)),
+    "fig3_middle": lambda seed: _policy_labels(fig3_middle(seed)),
+    "fig3_right": lambda seed: _policy_labels(fig3_right(seed)),
+    "fig4_selectivity": _trials_fig4,
+    "fig5_query_interval": lambda seed: _series_labels(
+        "qi", fig5_query_interval(seed)
+    ),
+    "loss_rates": _trials_loss_rates,
+    "root_skew": lambda seed: _policy_labels(root_skew(seed)),
+    "scaling": lambda seed: _series_labels("n", scaling(seed)),
+    "sample_interval": lambda seed: _series_labels(
+        "si", sample_interval_sweep(seed)
+    ),
+    "ablation_extensions": _trials_ablation_extensions,
+    "ablation_statistics": _trials_ablation_statistics,
+    "smoke": lambda seed: _policy_labels(smoke(seed)),
+}
+
+#: Experiment ids (DESIGN.md) as aliases for the scenario names.
+SCENARIO_ALIASES: Dict[str, str] = {
+    "E1": "fig3_left",
+    "E2": "fig3_middle",
+    "E3": "fig3_right",
+    "E4": "fig4_selectivity",
+    "E5": "fig5_query_interval",
+    "E6": "loss_rates",
+    "E7": "root_skew",
+    "E8": "scaling",
+    "E9": "sample_interval",
+    "A1": "ablation_extensions",
+    "A2": "ablation_statistics",
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def scenario_trials(name: str, seed: int = 1) -> LabelledSpecs:
+    """Expand scenario ``name`` (or an E/A alias) into labelled specs."""
+    canonical = SCENARIO_ALIASES.get(name, name)
+    if canonical not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS) + sorted(SCENARIO_ALIASES))
+        raise ValueError(f"unknown scenario {name!r}; one of: {known}")
+    return SCENARIOS[canonical](seed)

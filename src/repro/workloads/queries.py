@@ -17,7 +17,12 @@ import random
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Optional, Sequence, Tuple
 
-from repro.core.config import ScoopConfig, ValueDomain
+from repro.core.config import (
+    ScoopConfig,
+    ValueDomain,
+    dataclass_from_dict,
+    dataclass_to_dict,
+)
 from repro.core.query import Query
 
 
@@ -41,6 +46,19 @@ class QueryPlanConfig:
             raise ValueError(f"unknown query kind {self.kind!r}")
         if not 0 < self.node_frac <= 1:
             raise ValueError("node_frac must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`.
+
+        Generic field enumeration, so future fields automatically enter
+        the canonical spec key — a hand-written dict would silently keep
+        serving stale cached results when a field is added.
+        """
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryPlanConfig":
+        return dataclass_from_dict(cls, data)
 
 
 class QueryGenerator:
