@@ -1,0 +1,38 @@
+"""CI gate for the cache-replay step.
+
+Run after two consecutive ``run smoke --seeds 2 --export`` invocations:
+the first export must record six executed trials, the second must be
+served entirely from the persistent result cache (0 executed, 6 hits)
+with every trial's metric breakdown intact. Asserting on the JSON export
+replaces the old ``grep`` of CLI stdout, which silently passed when the
+pipeline's first command failed.
+"""
+
+import sys
+
+from repro.experiments.export import list_exports, load_campaign_export
+
+
+def main() -> int:
+    exports = list_exports("smoke")
+    assert len(exports) == 2, f"expected 2 smoke exports, found {exports}"
+    first = load_campaign_export(exports[0])
+    replay = load_campaign_export(exports[-1])
+    assert first["execution"]["executed"] == 6, first["execution"]
+    assert replay["execution"]["executed"] == 0, replay["execution"]
+    assert replay["execution"]["cached"] == 6, replay["execution"]
+    assert first["cache_salt"] == replay["cache_salt"]
+    for trial in replay["trials"]:
+        metrics = trial["result"]["metrics"]
+        assert metrics["messages_sent"], trial["label"]
+        assert metrics["energy_j"]["radio_tx"] > 0, trial["label"]
+        total = trial["result"]["total_messages"]
+        assert sum(trial["result"]["breakdown"].values()) == total, trial["label"]
+    for label in replay["labels"]:
+        assert {"mean", "stdev", "ci95"} <= set(label["total"]), label
+    print("cache replay OK:", replay["execution"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,10 @@ spec hash and served from the persistent on-disk cache under
 ``benchmarks/results/cache/`` when available, so repeated specs across
 benchmark files — and across pytest sessions — run at most once. Set
 ``REPRO_BENCH_JOBS=N`` to fan a benchmark's trials out over N worker
-processes (results are identical to a serial run), and delete the cache
-directory (or ``python -m repro.experiments clear-cache``) after changing
-simulator code. Every benchmark writes its rendered table to
+processes (results are identical to a serial run). Cache keys are salted
+with a hash of the ``repro`` source tree, so editing simulator code
+invalidates stale entries automatically. Every benchmark writes its
+rendered table to
 ``benchmarks/results/<name>.txt`` and prints it, so a benchmark run leaves
 the regenerated figures on disk.
 """

@@ -24,7 +24,10 @@ def test_ablation_extensions(benchmark):
     for name, result in results.items():
         rows.append(
             [f"gaussian[{name}]"]
-            + [int(result.breakdown[c]) for c in ("data", "summary", "mapping", "query/reply")]
+            + [
+                int(result.breakdown[c])
+                for c in ("data", "summary", "mapping", "query/reply")
+            ]
             + [int(result.total_messages)]
         )
     emit(

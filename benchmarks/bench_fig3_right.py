@@ -30,9 +30,15 @@ def test_fig3_right(benchmark):
     assert totals["random"] > totals["gaussian"]
     # UNIQUE exploits locality: among the cheapest sources.
     assert totals["unique"] <= min(totals["gaussian"], totals["random"])
-    # EQUAL suppresses mapping dissemination: very few mapping messages.
+    # EQUAL suppresses mapping dissemination: very few mapping messages —
+    # visible directly in the per-kind transmission census.
     by_workload = {r.workload: r for r in results}
     assert (
-        by_workload["equal"].breakdown["mapping"]
-        <= by_workload["random"].breakdown["mapping"]
+        by_workload["equal"].metrics.messages_sent.get("mapping", 0)
+        <= by_workload["random"].metrics.messages_sent.get("mapping", 0)
     )
+    # Every source runs the same protocol substrate: routing beacons are
+    # tracked (outside the paper's metric) and nonzero everywhere.
+    for r in results:
+        assert r.metrics.messages_sent.get("beacon", 0) > 0
+        assert r.breakdown["mapping"] == r.metrics.messages_sent.get("mapping", 0)

@@ -61,9 +61,7 @@ def test_index_construction_speed(benchmark, n_nodes):
     config, stats = synthetic_statistics(n_nodes, domain)
     model = NetworkModel.from_statistics(stats)
 
-    result = benchmark(
-        build_storage_index, 1, stats, model, config, 600.0
-    )
+    result = benchmark(build_storage_index, 1, stats, model, config, 600.0)
     index = result.index
     assert index.domain == domain
     # Every value has an owner and ranges compact correctly.

@@ -23,3 +23,8 @@ def test_loss_rates(benchmark):
     assert result.storage_success_rate > 0.85
     assert result.owner_hit_rate > 0.60
     assert result.query_reply_rate > 0.50
+    # Stored readings leave a physical trace in the metrics: flash-write
+    # energy was spent somewhere, and replies actually flowed (the reply
+    # bucket of the transmission census is non-empty).
+    assert result.metrics.energy_j["flash_write"] > 0
+    assert result.metrics.messages_sent.get("reply", 0) > 0

@@ -28,13 +28,24 @@ def test_root_skew(benchmark):
                 r.root_sent,
                 r.root_received,
                 f"{r.root_energy_j:.2f}",
+                f"{r.metrics.root_energy_j['radio_rx']:.2f}",
                 f"{r.mean_node_energy_j:.2f}",
+                f"{r.metrics.load_skew:.2f}",
             ]
         )
+    headers = [
+        "policy",
+        "root sent",
+        "root received",
+        "root J",
+        "root rx J",
+        "mean node J",
+        "skew",
+    ]
     emit(
         "root_skew",
         format_table(
-            ["policy", "root sent", "root received", "root J", "mean node J"],
+            headers,
             rows,
             "Section 6: root-node load and energy by policy (REAL)",
         ),
@@ -43,6 +54,17 @@ def test_root_skew(benchmark):
     # BASE's root receives every reading: far more traffic lands on it than
     # on SCOOP's root (which only collects summaries and rule-4 fallbacks).
     assert results["base"].root_received > results["scoop"].root_received
+    # The same skew, read off the structured per-node load map: the root's
+    # node_load entry is consistent with the coarse counters, and BASE's
+    # root pays more reception *energy* than SCOOP's ("costly as the radio
+    # must be on at all times").
+    for r in results.values():
+        assert r.metrics.node_load["0"] == r.root_sent + r.root_received
+        assert r.metrics.load_skew >= 1.0
+    assert (
+        results["base"].metrics.root_energy_j["radio_rx"]
+        > results["scoop"].metrics.root_energy_j["radio_rx"]
+    )
     # The average SCOOP node spends less energy than the average LOCAL node
     # (the paper's 1 month -> 3 months claim) and than the average BASE node.
     assert results["scoop"].mean_node_energy_j < results["local"].mean_node_energy_j

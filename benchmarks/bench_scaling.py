@@ -49,7 +49,10 @@ def test_scaling(benchmark):
     )
 
     # Cost grows with network size for both workloads...
-    assert table[SIZES[-1]]["real"].total_messages > table[SIZES[0]]["real"].total_messages
+    assert (
+        table[SIZES[-1]]["real"].total_messages
+        > table[SIZES[0]]["real"].total_messages
+    )
     # ...but RANDOM (no locality; data crosses the network) grows at least
     # as fast as REAL in absolute terms.
     real_growth = (

@@ -62,14 +62,21 @@ def main() -> None:
     workload = VibrationClasses(config.domain, config.n_nodes, seed=11)
 
     base = Basestation(
-        network.sim, network.radio, config,
-        tracker=network.tracker, energy=network.energy,
+        network.sim,
+        network.radio,
+        config,
+        tracker=network.tracker,
+        energy=network.energy,
     )
     machines = [
         ScoopNode(
-            i, network.sim, network.radio, config,
+            i,
+            network.sim,
+            network.radio,
+            config,
             data_source=workload.as_data_source(),
-            tracker=network.tracker, energy=network.energy,
+            tracker=network.tracker,
+            energy=network.energy,
         )
         for i in config.sensor_ids
     ]

@@ -20,8 +20,8 @@ overhead — is checkable both ways.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence, Set
 
 from repro.core.basestation import Basestation
 from repro.core.config import ScoopConfig
@@ -42,9 +42,7 @@ def hash_owner(value: int, sensors: Sequence[int], salt: int = 0) -> int:
     return sensors[((value + salt) * _HASH_MULTIPLIER) % (2**32) % len(sensors)]
 
 
-def build_hash_index(
-    config: ScoopConfig, salt: int = 0, sid: int = 1
-) -> StorageIndex:
+def build_hash_index(config: ScoopConfig, salt: int = 0, sid: int = 1) -> StorageIndex:
     """A fixed storage index implementing the static hash placement."""
     sensors = list(config.sensor_ids)
     owners = [hash_owner(v, sensors, salt) for v in config.domain]
@@ -132,9 +130,7 @@ class AnalyticalHashModel:
                     data_cost += self._finite_etx(node, owner)
 
         rng = random.Random(seed)
-        generator = QueryGenerator(
-            query_plan, config.domain, self.sensors, rng
-        )
+        generator = QueryGenerator(query_plan, config.domain, self.sensors, rng)
         query_cost = 0.0
         n_queries = int(duration / config.query_interval)
         for k in range(n_queries):

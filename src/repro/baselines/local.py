@@ -14,15 +14,11 @@ come purely from the storage policy, as in the paper's comparison.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from repro.core.basestation import Basestation
-from repro.core.config import ScoopConfig
-from repro.core.node import DataSource, ScoopNode
+from repro.core.node import ScoopNode
 from repro.core.query import Query
-from repro.sim.kernel import Simulator
-from repro.sim.metrics import DeliveryTracker
-from repro.sim.radio import Radio
 
 
 class LocalNode(ScoopNode):

@@ -65,6 +65,10 @@ class Basestation(ScoopNode):
         self.last_build: Optional[IndexBuildResult] = None
         self.remaps_run = 0
         self.remaps_suppressed = 0
+        #: Accumulated cost-model work over every remap of the trial
+        #: (model builds, Dijkstra runs, point queries) — exported through
+        #: :class:`~repro.sim.metrics.TrialMetrics`.
+        self.planner_stats: Dict[str, int] = {}
         self._remap_timer = Timer(
             sim, self._remap, interval=config.remap_interval, periodic=True, jitter=0.02
         )
@@ -101,31 +105,42 @@ class Basestation(ScoopNode):
     def _remap(self) -> None:
         now = self.sim.now
         model = NetworkModel.from_statistics(self.stats)
-        result = build_storage_index(
-            self._sid_counter + 1,
-            self.stats,
-            model,
-            self.config,
-            now,
-            previous=self.current_index,
-        )
-        self.last_build = result
-        self.remaps_run += 1
-        candidate = result.index
-        if result.chose_store_local:
-            candidate = StorageIndex.uniform(
-                self._sid_counter + 1, self.config.domain, STORE_LOCAL
+        try:
+            result = build_storage_index(
+                self._sid_counter + 1,
+                self.stats,
+                model,
+                self.config,
+                now,
+                previous=self.current_index,
             )
-        if self._should_suppress(candidate, model, result, now):
-            # "...suppressing the dissemination of a new storage index
-            # altogether if it is very similar to the previous" — nodes
-            # keep using the old one.
-            self.remaps_suppressed += 1
-            return
-        self._sid_counter += 1
-        self.current_index = candidate
-        self.index_history.append((now, candidate))
-        self.disseminator.seed(self._sid_counter, candidate.to_chunks())
+            self.last_build = result
+            self.remaps_run += 1
+            candidate = result.index
+            if result.chose_store_local:
+                candidate = StorageIndex.uniform(
+                    self._sid_counter + 1, self.config.domain, STORE_LOCAL
+                )
+            if self._should_suppress(candidate, model, result, now):
+                # "...suppressing the dissemination of a new storage index
+                # altogether if it is very similar to the previous" — nodes
+                # keep using the old one.
+                self.remaps_suppressed += 1
+                return
+            self._sid_counter += 1
+            self.current_index = candidate
+            self.index_history.append((now, candidate))
+            self.disseminator.seed(self._sid_counter, candidate.to_chunks())
+        finally:
+            self._absorb_planner_stats(model)
+
+    def _absorb_planner_stats(self, model: NetworkModel) -> None:
+        """Fold one remap's cost-model counters into the trial totals."""
+        self.planner_stats["model_builds"] = (
+            self.planner_stats.get("model_builds", 0) + 1
+        )
+        for name, count in model.stats.items():
+            self.planner_stats[name] = self.planner_stats.get(name, 0) + count
 
     def _should_suppress(
         self,
@@ -141,7 +156,10 @@ class Basestation(ScoopNode):
         base) still propagates."""
         if self.current_index is None:
             return False
-        if candidate.similarity(self.current_index) < self.config.suppression_similarity:
+        if (
+            candidate.similarity(self.current_index)
+            < self.config.suppression_similarity
+        ):
             return False
         if STORE_LOCAL in self.current_index.all_owners() or STORE_LOCAL in (
             candidate.all_owners()

@@ -18,7 +18,7 @@ of the paper — avoid owners behind lossy links — falls out of these weights.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -42,12 +42,27 @@ def hop_cost(quality: float) -> float:
 
 
 class NetworkModel:
-    """Shortest-path ``xmits`` oracle over the basestation's partial view."""
+    """Shortest-path ``xmits`` oracle over the basestation's partial view.
+
+    Every model keeps a ``stats`` counter dict — Dijkstra runs, memoized
+    reuses, point queries — that the basestation folds into its per-trial
+    planner telemetry (:class:`~repro.sim.metrics.TrialMetrics`), giving
+    the index-construction side of the paper's cost story a measurable
+    footprint next to the radio counts.
+    """
 
     def __init__(self, graph: nx.DiGraph):
         self._graph = graph
         self._from_cache: Dict[int, Dict[int, float]] = {}
         self._to_cache: Dict[int, Dict[int, float]] = {}
+        #: Planner work counters, all ints (JSON-ready).
+        self.stats: Dict[str, int] = {
+            "model_nodes": graph.number_of_nodes(),
+            "model_edges": graph.number_of_edges(),
+            "dijkstra_runs": 0,
+            "dijkstra_memo_hits": 0,
+            "xmits_queries": 0,
+        }
 
     # ------------------------------------------------------------------
     # Construction
@@ -69,9 +84,7 @@ class NetworkModel:
         return cls(graph)
 
     @classmethod
-    def from_edges(
-        cls, edges: Iterable[Tuple[int, int, float]]
-    ) -> "NetworkModel":
+    def from_edges(cls, edges: Iterable[Tuple[int, int, float]]) -> "NetworkModel":
         """Build directly from (src, dst, delivery-quality) triples (tests)."""
         graph = nx.DiGraph()
         for a, b, quality in edges:
@@ -83,16 +96,20 @@ class NetworkModel:
     # ------------------------------------------------------------------
     def _distances_from(self, src: int) -> Dict[int, float]:
         if src not in self._from_cache:
+            self.stats["dijkstra_runs"] += 1
             if src in self._graph:
                 self._from_cache[src] = nx.single_source_dijkstra_path_length(
                     self._graph, src, weight="weight"
                 )
             else:
                 self._from_cache[src] = {}
+        else:
+            self.stats["dijkstra_memo_hits"] += 1
         return self._from_cache[src]
 
     def _distances_to(self, dst: int) -> Dict[int, float]:
         if dst not in self._to_cache:
+            self.stats["dijkstra_runs"] += 1
             if dst in self._graph:
                 reversed_graph = self._graph.reverse(copy=False)
                 self._to_cache[dst] = nx.single_source_dijkstra_path_length(
@@ -100,11 +117,14 @@ class NetworkModel:
                 )
             else:
                 self._to_cache[dst] = {}
+        else:
+            self.stats["dijkstra_memo_hits"] += 1
         return self._to_cache[dst]
 
     def xmits(self, src: int, dst: int) -> float:
         """Expected transmissions to move one packet from src to dst
         (``inf`` when the basestation knows no connecting path)."""
+        self.stats["xmits_queries"] += 1
         if src == dst:
             return 0.0
         return self._distances_from(src).get(dst, math.inf)
@@ -117,6 +137,7 @@ class NetworkModel:
         self, sources: Sequence[int], targets: Sequence[int]
     ) -> np.ndarray:
         """Matrix of xmits(source, target), shape (len(sources), len(targets))."""
+        self.stats["xmits_queries"] += len(sources) * len(targets)
         out = np.empty((len(sources), len(targets)))
         for i, src in enumerate(sources):
             dists = self._distances_from(src)
@@ -125,6 +146,7 @@ class NetworkModel:
         return out
 
     def roundtrip_vector(self, base: int, targets: Sequence[int]) -> np.ndarray:
+        self.stats["xmits_queries"] += len(targets)
         from_base = self._distances_from(base)
         to_base = self._distances_to(base)
         out = np.empty(len(targets))

@@ -24,7 +24,7 @@ of what the reproduction must preserve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -165,9 +165,7 @@ def evaluate_index_cost(
             total += UNREACHABLE_COST
             continue
         per_producer = inputs.xmits_po[:, positions].min(axis=1)
-        data = float(
-            np.dot(inputs.production[:, vi] * inputs.rates, per_producer)
-        )
+        data = float(np.dot(inputs.production[:, vi] * inputs.rates, per_producer))
         query = (
             inputs.query_rate
             * inputs.query_prob[vi]
@@ -177,7 +175,9 @@ def evaluate_index_cost(
     return total
 
 
-def _apply_range_placement(cost: np.ndarray, domain: ValueDomain, width: int) -> np.ndarray:
+def _apply_range_placement(
+    cost: np.ndarray, domain: ValueDomain, width: int
+) -> np.ndarray:
     """Aggregate per-value costs into fixed-width ranges (extension 3).
 
     Returns a cost matrix where every value in a range shares the summed
@@ -312,7 +312,9 @@ def build_storage_index(
     if previous is not None and previous.domain == domain:
         for vi, v in enumerate(domain):
             previous_pick[vi] = candidate_column.get(previous.owner_of(v), -1)
-    choice = _stabilise_choice(cost, choice, previous_pick, tolerance=config.index_tie_tolerance)
+    choice = _stabilise_choice(
+        cost, choice, previous_pick, tolerance=config.index_tie_tolerance
+    )
 
     if config.max_owners_per_value > 1:
         owner_sets = _greedy_owner_sets(inputs, choice, config.max_owners_per_value)

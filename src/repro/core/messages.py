@@ -21,8 +21,8 @@ payload; they drive airtime and the energy model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core.histogram import Histogram
 

@@ -29,7 +29,7 @@ the node half of Scoop:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.config import ScoopConfig
 from repro.core.histogram import Histogram
@@ -98,10 +98,17 @@ class ScoopNode(Mote):
         )
 
         self._sample_timer = Timer(
-            sim, self._sample, interval=config.sample_interval, periodic=True, jitter=0.05
+            sim,
+            self._sample,
+            interval=config.sample_interval,
+            periodic=True,
+            jitter=0.05,
         )
         self._summary_timer = Timer(
-            sim, self._send_summary, interval=config.summary_interval, periodic=True,
+            sim,
+            self._send_summary,
+            interval=config.summary_interval,
+            periodic=True,
             jitter=0.1,
         )
         self.sampling = False
@@ -271,7 +278,9 @@ class ScoopNode(Mote):
             return
         self._route_by_rules(message, from_node)
 
-    def _route_by_rules(self, message: DataMessage, from_node: Optional[int] = None) -> None:
+    def _route_by_rules(
+        self, message: DataMessage, from_node: Optional[int] = None
+    ) -> None:
         owner = message.owner
         # Rule 2: we are the owner.
         if owner == self.node_id:
@@ -353,9 +362,7 @@ class ScoopNode(Mote):
             max_value=max(values) if values else 0,
             sum_values=sum(values) if values else 0,
             readings_since_last=self.readings_since_summary,
-            neighbors=tuple(
-                self.linkest.best_neighbors(self.config.summary_neighbors)
-            ),
+            neighbors=tuple(self.linkest.best_neighbors(self.config.summary_neighbors)),
             last_sid=self.sid,
         )
 
@@ -452,9 +459,7 @@ class ScoopNode(Mote):
             # arrives would synchronise every target's reply burst into
             # hidden-terminal collisions near the root (the paper observes
             # replies taking "several seconds" to start coming back).
-            self.sim.schedule(
-                self.sim.rng.uniform(0.5, 3.0), self._answer_query, query
-            )
+            self.sim.schedule(self.sim.rng.uniform(0.5, 3.0), self._answer_query, query)
         if self._should_rebroadcast(query):
             self._start_query_gossip(query)
 
@@ -483,9 +488,7 @@ class ScoopNode(Mote):
         lo, hi = self.config.query_rebroadcast_delay
         state = {"round": 0, "heard_this_round": 0}
         self._query_gossip[query.query_id] = state
-        self.sim.schedule(
-            self.sim.rng.uniform(lo, hi), self._query_gossip_fire, query
-        )
+        self.sim.schedule(self.sim.rng.uniform(lo, hi), self._query_gossip_fire, query)
 
     def _query_gossip_fire(self, query: QueryMessage) -> None:
         state = self._query_gossip.get(query.query_id)
@@ -501,7 +504,10 @@ class ScoopNode(Mote):
             del self._query_gossip[query.query_id]
             return
         lo, hi = self.config.query_rebroadcast_delay
-        delay = self.sim.rng.uniform(lo, hi) * (2 ** state["round"]) + 0.25 * state["round"]
+        delay = (
+            self.sim.rng.uniform(lo, hi) * (2 ** state["round"])
+            + 0.25 * state["round"]
+        )
         self.sim.schedule(delay, self._query_gossip_fire, query)
 
     def _note_query_copy_heard(self, qid: int) -> None:

@@ -23,7 +23,6 @@ Section 5.2 of the paper describes what the basestation learns and keeps:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -57,9 +56,7 @@ class QueryStatistics:
         self.first_query_time: Optional[float] = None
         self.last_query_time: Optional[float] = None
 
-    def record(
-        self, value_range: Optional[Tuple[int, int]], now: float
-    ) -> None:
+    def record(self, value_range: Optional[Tuple[int, int]], now: float) -> None:
         self.total_queries += 1
         if self.first_query_time is None:
             self.first_query_time = now
@@ -236,7 +233,10 @@ class BasestationStatistics:
                 continue  # had an index throughout the window
             summary = record.last_summary
             if value_range is not None and summary is not None:
-                if summary.max_value < value_range[0] or summary.min_value > value_range[1]:
+                if (
+                    summary.max_value < value_range[0]
+                    or summary.min_value > value_range[1]
+                ):
                     continue
             out.add(node)
         return out

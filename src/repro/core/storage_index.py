@@ -24,7 +24,7 @@ while chunks of a newer index trickle in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.config import ValueDomain
 from repro.core.messages import MAX_ENTRIES_PER_CHUNK, MappingChunk
@@ -135,9 +135,7 @@ class StorageIndex:
         entries.append(RangeEntry(lo=start, hi=self.domain.hi, owners=current))
         return entries
 
-    def to_chunks(
-        self, max_entries: int = MAX_ENTRIES_PER_CHUNK
-    ) -> List[MappingChunk]:
+    def to_chunks(self, max_entries: int = MAX_ENTRIES_PER_CHUNK) -> List[MappingChunk]:
         """Split the compacted index into dissemination chunks.
 
         Owner sets are flattened into one wire entry per (range, owner)

@@ -4,15 +4,21 @@ Usage:
     python -m repro.experiments run <scenario>|all [--jobs N] [--seeds K]
                                     [--base-seed B] [--scale S]
                                     [--cache-dir DIR] [--no-cache] [--refresh]
+                                    [--export] [--export-dir DIR]
+    python -m repro.experiments report [<scenario>|<export.json>]
+                                    [--export-dir DIR]
     python -m repro.experiments list
     python -m repro.experiments clear-cache [--cache-dir DIR]
 
 Scenarios are the named grids of ``scenarios.py`` (E/A experiment ids from
 DESIGN.md work as aliases). ``--seeds K`` replicates every trial over K
-seeds and reports mean/stdev per trial label; ``--jobs N`` fans the runs
-out over N worker processes — results are identical to a serial run.
-Completed trials land in the persistent result cache, so re-running a
-campaign is free.
+seeds and reports mean/stdev/95% CI per trial label; ``--jobs N`` fans the
+runs out over N worker processes — results are identical to a serial run.
+Completed trials land in the persistent result cache (keys salted with a
+source-tree hash, so code edits self-invalidate), so re-running a campaign
+is free. ``--export`` writes the campaign's canonical JSON document under
+``benchmarks/results/campaigns/``; ``report`` renders the markdown figure
+table of the latest (or a given) export without running anything.
 """
 
 from __future__ import annotations
@@ -20,11 +26,18 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.cache import ResultCache, default_cache_root
 from repro.experiments.campaign import Campaign, run_campaign
-from repro.experiments.reporting import campaign_table
+from repro.experiments.export import (
+    default_export_root,
+    export_campaign,
+    latest_export,
+    load_campaign_export,
+)
+from repro.experiments.reporting import campaign_table, figure_table_markdown
 from repro.experiments.scenarios import (
     SCENARIO_ALIASES,
     bench_scale,
@@ -59,6 +72,29 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--refresh", action="store_true", help="re-run trials even on cache hits"
     )
+    run.add_argument(
+        "--export",
+        action="store_true",
+        help="write the campaign's JSON export (aggregates with 95%% CI "
+        "plus every trial's metric breakdowns)",
+    )
+    run.add_argument(
+        "--export-dir",
+        default=None,
+        help="export directory (default: benchmarks/results/campaigns, "
+        "or REPRO_EXPORT_DIR)",
+    )
+
+    report = sub.add_parser(
+        "report", help="render the markdown figure table of a campaign export"
+    )
+    report.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="scenario name or export file path (default: latest export)",
+    )
+    report.add_argument("--export-dir", default=None, help="export directory to search")
 
     sub.add_parser("list", help="list scenarios and their trial grids")
 
@@ -117,15 +153,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(
             f"{len(out.trials)} trials: {out.executed} executed, "
-            f"{out.cached} cache hits, {elapsed:.1f}s\n"
+            f"{out.cached} cache hits, {elapsed:.1f}s"
         )
+        if args.export:
+            path = export_campaign(
+                out,
+                jobs=args.jobs,
+                elapsed_s=elapsed,
+                scale=args.scale,
+                out_dir=Path(args.export_dir) if args.export_dir else None,
+            )
+            print(f"export: {path}")
+        print()
     return status
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    root = Path(args.export_dir) if args.export_dir else None
+    target = args.target
+    if target and (target.endswith(".json") or Path(target).is_file()):
+        path: Optional[Path] = Path(target)
+    else:
+        scenario = SCENARIO_ALIASES.get(target, target) if target else None
+        path = latest_export(scenario, root=root)
+        if path is None:
+            where = root if root is not None else default_export_root()
+            what = f"scenario {target!r}" if target else "any campaign"
+            print(f"error: no export for {what} under {where}", file=sys.stderr)
+            return 2
+    try:
+        doc = load_campaign_export(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(figure_table_markdown(doc))
+    execution = doc.get("execution", {})
+    print(
+        f"\n{execution.get('trials', '?')} trials "
+        f"({execution.get('executed', '?')} executed, "
+        f"{execution.get('cached', '?')} cached) — {path}"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "clear-cache":
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
         removed = cache.clear()

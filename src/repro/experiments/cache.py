@@ -12,9 +12,10 @@ per canonical spec key (:func:`repro.experiments.runner.spec_key`) under
 Invalidation: entries key on ``SPEC_SCHEMA_VERSION`` plus the full spec
 content, so changing any parameter (including time scale) is a miss;
 changing the serialization schema orphans old entries, which are ignored.
-Entries do NOT key on simulator code — after changing simulation logic,
-delete the cache directory (or run ``python -m repro.experiments
-clear-cache``).
+Keys also mix in a code salt — a content hash of the ``repro`` source
+tree (:mod:`repro.experiments.salt`, ``REPRO_CACHE_SALT`` overrides) — so
+editing simulator code self-invalidates every entry. ``clear-cache`` is
+now housekeeping (it sweeps orphaned files), not a correctness step.
 """
 
 from __future__ import annotations

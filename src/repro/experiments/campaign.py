@@ -15,6 +15,7 @@ a campaign run with ``jobs=N`` is bit-identical to ``jobs=1``.
 
 from __future__ import annotations
 
+import math
 import os
 import statistics
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -75,6 +76,52 @@ class TrialResult:
     from_cache: bool = False
 
 
+#: Two-sided 95% Student-t critical values by degrees of freedom (CRC
+#: table); beyond the table the normal approximation 1.96 is used. Kept
+#: inline so confidence intervals need no scipy dependency.
+# fmt: off
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+# fmt: on
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom.
+
+    Between table rows the value for the largest tabulated df **at or
+    below** the requested one is used — rounding df down keeps the
+    interval conservative (slightly wide), never anti-conservative.
+    """
+    if df < 1:
+        return 0.0
+    if df in _T95:
+        return _T95[df]
+    floor = max(entry for entry in _T95 if entry <= df)
+    return _T95[floor]
+
+
+def sample_stats(values: Sequence[float]) -> Tuple[float, float, float]:
+    """(mean, sample stdev, 95% CI half-width) of ``values``.
+
+    One sample has no spread estimate: stdev and CI are 0 (the figure
+    tables then show a bare mean, as the single-seed campaigns always
+    did).
+    """
+    n = len(values)
+    mean = statistics.fmean(values)
+    if n < 2:
+        return mean, 0.0, 0.0
+    sd = statistics.stdev(values)
+    return mean, sd, t_critical_95(n - 1) * sd / math.sqrt(n)
+
+
 @dataclass
 class LabelAggregate:
     """Across-seed statistics for one trial label."""
@@ -85,6 +132,32 @@ class LabelAggregate:
     mean_total: float
     stdev_total: float
     mean_breakdown: Dict[str, float]
+    #: 95% confidence half-width of the total (Student t; 0 for one seed).
+    ci95_total: float = 0.0
+    stdev_breakdown: Dict[str, float] = field(default_factory=dict)
+    ci95_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form used by the campaign export (grouped per
+        statistic so plotting code reads ``total.mean``/``total.ci95``)."""
+        return {
+            "label": self.label,
+            "n": self.n,
+            "seeds": list(self.seeds),
+            "total": {
+                "mean": self.mean_total,
+                "stdev": self.stdev_total,
+                "ci95": self.ci95_total,
+            },
+            "breakdown": {
+                cat: {
+                    "mean": self.mean_breakdown[cat],
+                    "stdev": self.stdev_breakdown.get(cat, 0.0),
+                    "ci95": self.ci95_breakdown.get(cat, 0.0),
+                }
+                for cat in self.mean_breakdown
+            },
+        }
 
 
 @dataclass
@@ -113,7 +186,8 @@ class CampaignResult:
         return groups
 
     def aggregates(self) -> List[LabelAggregate]:
-        """Per-label mean/stdev across seeds (stdev 0 for one seed)."""
+        """Per-label mean/stdev/95% CI across seeds (0 spread for one
+        seed)."""
         out: List[LabelAggregate] = []
         for label, group in self.by_label().items():
             totals = [tr.result.total_messages for tr in group]
@@ -121,17 +195,19 @@ class CampaignResult:
             for tr in group:
                 for cat, count in tr.result.breakdown.items():
                     categories.setdefault(cat, []).append(count)
+            mean_total, stdev_total, ci95_total = sample_stats(totals)
+            per_cat = {cat: sample_stats(vals) for cat, vals in categories.items()}
             out.append(
                 LabelAggregate(
                     label=label,
                     n=len(group),
                     seeds=tuple(tr.trial.spec.seed for tr in group),
-                    mean_total=statistics.fmean(totals),
-                    stdev_total=statistics.stdev(totals) if len(totals) > 1 else 0.0,
-                    mean_breakdown={
-                        cat: statistics.fmean(vals)
-                        for cat, vals in categories.items()
-                    },
+                    mean_total=mean_total,
+                    stdev_total=stdev_total,
+                    ci95_total=ci95_total,
+                    mean_breakdown={cat: s[0] for cat, s in per_cat.items()},
+                    stdev_breakdown={cat: s[1] for cat, s in per_cat.items()},
+                    ci95_breakdown={cat: s[2] for cat, s in per_cat.items()},
                 )
             )
         return out

@@ -33,9 +33,9 @@ from repro.core.node import ScoopNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runner cycle
     from repro.experiments.runner import ExperimentSpec
-    from repro.sim.mote import Mote
+    from repro.sim.mote import Mote  # noqa: F401 — quoted in PolicyFactory
     from repro.sim.network import Network
-    from repro.workloads import Workload
+    from repro.workloads import Workload  # noqa: F401 — quoted in PolicyFactory
 
 #: factory(spec, net, workload) -> (basestation, sensor nodes)
 PolicyFactory = Callable[
@@ -45,9 +45,7 @@ PolicyFactory = Callable[
 _POLICIES: Dict[str, PolicyFactory] = {}
 
 
-def register_policy(
-    name: str, factory: Optional[PolicyFactory] = None
-) -> Callable:
+def register_policy(name: str, factory: Optional[PolicyFactory] = None) -> Callable:
     """Register ``factory`` under ``name`` (also usable as a decorator)."""
     if not isinstance(name, str) or not name:
         raise ValueError(f"policy name must be a non-empty string, got {name!r}")
@@ -139,9 +137,7 @@ def _build_hash(spec, net, workload):
     index = build_hash_index(spec.scoop, salt=spec.seed)
     base = HashBasestation(net.sim, net.radio, hash_index=index, **common)
     nodes = [
-        HashNode(
-            i, net.sim, net.radio, data_source=source, hash_index=index, **common
-        )
+        HashNode(i, net.sim, net.radio, data_source=source, hash_index=index, **common)
         for i in spec.scoop.sensor_ids
     ]
     return base, nodes

@@ -6,7 +6,7 @@ regenerates the same rows/series the paper's figures report.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.experiments.runner import ExperimentResult
 
@@ -64,12 +64,20 @@ def series_table(
 
 
 def campaign_table(aggregates, title: str) -> str:
-    """Per-label campaign summary: seeds, mean±stdev total, category means.
+    """Per-label campaign summary: seeds, mean/sd/95% CI total, category
+    means.
 
     ``aggregates`` is the output of
     :meth:`repro.experiments.campaign.CampaignResult.aggregates`.
     """
-    headers = ["trial", "seeds", "total (mean)", "total (sd)", *CATEGORIES]
+    headers = [
+        "trial",
+        "seeds",
+        "total (mean)",
+        "total (sd)",
+        "total (ci95)",
+        *CATEGORIES,
+    ]
     rows = []
     for agg in aggregates:
         rows.append(
@@ -78,10 +86,68 @@ def campaign_table(aggregates, title: str) -> str:
                 agg.n,
                 f"{agg.mean_total:.0f}",
                 f"{agg.stdev_total:.1f}",
+                f"{agg.ci95_total:.1f}",
                 *[f"{agg.mean_breakdown.get(c, 0.0):.0f}" for c in CATEGORIES],
             ]
         )
     return format_table(headers, rows, title=title)
+
+
+def plus_minus(mean: float, ci95: float) -> str:
+    """``mean ± ci`` rendering; a bare mean when there is no spread
+    estimate (single seed)."""
+    if ci95 > 0:
+        return f"{mean:.0f} ± {ci95:.0f}"
+    return f"{mean:.0f}"
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """GitHub-flavored markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def figure_table_markdown(doc: Dict[str, object]) -> str:
+    """The campaign's figure table in markdown, from an export document
+    (:func:`repro.experiments.export.load_campaign_export`): per label,
+    the across-seed total and per-category means with 95% confidence
+    half-widths."""
+    labels: List[Dict[str, object]] = doc.get("labels", [])
+    categories: List[str] = [c for c in CATEGORIES]
+    extra = sorted(
+        {
+            cat
+            for entry in labels
+            for cat in entry.get("breakdown", {})
+            if cat not in CATEGORIES
+        }
+    )
+    categories += extra
+    headers = ["trial", "seeds", "total (messages)", *categories]
+    rows = []
+    for entry in labels:
+        total = entry.get("total", {})
+        breakdown = entry.get("breakdown", {})
+        row: List[object] = [
+            entry.get("label", ""),
+            entry.get("n", 0),
+            plus_minus(total.get("mean", 0.0), total.get("ci95", 0.0)),
+        ]
+        for cat in categories:
+            stats = breakdown.get(cat)
+            row.append(
+                plus_minus(stats["mean"], stats.get("ci95", 0.0)) if stats else "—"
+            )
+        rows.append(row)
+    title = (
+        f"**Campaign `{doc.get('name', '?')}`** — seeds {doc.get('seeds', [])}, "
+        f"generated {doc.get('generated_at', '?')} "
+        f"(mean ± 95% CI across seeds)"
+    )
+    return title + "\n\n" + markdown_table(headers, rows)
 
 
 def rates_table(result: ExperimentResult, title: str) -> str:

@@ -15,7 +15,7 @@ baseline) is exposed as :func:`run_hash_analytical`.
 from __future__ import annotations
 
 import dataclasses
-import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -23,7 +23,6 @@ from repro.baselines.hash_static import AnalyticalHashModel
 from repro.core.basestation import Basestation
 from repro.core.config import (
     ScoopConfig,
-    ValueDomain,
     canonical_key,
     dataclass_from_dict,
     dataclass_to_dict,
@@ -31,8 +30,9 @@ from repro.core.config import (
 from repro.core.node import ScoopNode
 from repro.core.query import QueryResult
 from repro.experiments.registry import is_registered, known_policies, policy_factory
+from repro.experiments.salt import cache_salt
+from repro.sim.metrics import TrialMetrics
 from repro.sim.network import Network
-from repro.sim.packets import FrameKind
 from repro.sim.topology import Topology, indoor_testbed, random_geometric
 from repro.workloads import WORKLOAD_NAMES, Workload, make_workload
 from repro.workloads.queries import QueryGenerator, QueryPlanConfig
@@ -44,8 +44,9 @@ POLICIES = ("scoop", "local", "base", "hash")
 
 #: Bumped whenever spec/result serialization changes shape, so stale
 #: entries in the persistent result cache miss instead of deserializing
-#: garbage.
-SPEC_SCHEMA_VERSION = 1
+#: garbage. v2: results carry a structured :class:`TrialMetrics` record
+#: and keys are salted with the source-tree hash (:mod:`.salt`).
+SPEC_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -95,15 +96,20 @@ class ExperimentSpec:
 
 
 def spec_key(spec: ExperimentSpec, analytical: bool = False) -> str:
-    """Canonical SHA-256 key of one trial (spec + evaluation mode).
+    """Canonical SHA-256 key of one trial (spec + evaluation mode + code).
 
     Stable across processes and sessions — the key of the persistent
     result cache. ``analytical`` distinguishes the paper's analytical
-    HASH evaluation from a simulated run of the same spec.
+    HASH evaluation from a simulated run of the same spec. The key also
+    mixes in :func:`repro.experiments.salt.cache_salt` (a content hash of
+    the ``repro`` source tree, ``REPRO_CACHE_SALT`` overrides), so editing
+    simulator code self-invalidates every cached entry — ``clear-cache``
+    is housekeeping, not correctness.
     """
     return canonical_key(
         {
             "schema": SPEC_SCHEMA_VERSION,
+            "salt": cache_salt(),
             "analytical": bool(analytical),
             "spec": spec.to_dict(),
         }
@@ -137,6 +143,10 @@ class ExperimentResult:
     indices_disseminated: int = 0
     mean_nodes_targeted: float = 0.0
     analytical: bool = False
+    #: Structured per-trial telemetry (message/energy/load breakdowns).
+    #: ``None`` for analytical evaluations, which have no simulator to
+    #: meter.
+    metrics: Optional[TrialMetrics] = None
 
     @property
     def policy(self) -> str:
@@ -150,12 +160,25 @@ class ExperimentResult:
         """JSON-ready mapping; inverse of :meth:`from_dict`."""
         return dataclass_to_dict(self)
 
+    def deterministic_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` minus the wall-clock timing — every field that
+        is a pure function of the spec. This is what serial-vs-parallel
+        and cache-replay identity checks compare."""
+        out = self.to_dict()
+        if out.get("metrics"):
+            out["metrics"] = dict(out["metrics"], wall_clock_s=0.0)
+        return out
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
         return dataclass_from_dict(
             cls,
             data,
-            converters={"spec": ExperimentSpec.from_dict, "breakdown": dict},
+            converters={
+                "spec": ExperimentSpec.from_dict,
+                "breakdown": dict,
+                "metrics": TrialMetrics.from_dict,
+            },
         )
 
 
@@ -207,6 +230,7 @@ def run_experiment(
     on_query_result: Optional[Callable[[QueryResult], None]] = None,
 ) -> ExperimentResult:
     """Run one full trial and collect the paper's measurements."""
+    started = time.perf_counter()
     config = spec.scoop
     topo = topology if topology is not None else build_topology(spec)
     if topo.n != config.n_nodes:
@@ -259,16 +283,30 @@ def run_experiment(
         node.stop_sampling()
     net.run(net.sim.now + config.query_reply_window + 5.0)
 
-    return _collect(spec, net, base, queries_issued)
+    return _collect(
+        spec, net, base, queries_issued, wall_clock_s=time.perf_counter() - started
+    )
 
 
 def _collect(
-    spec: ExperimentSpec, net: Network, base: Basestation, queries_issued: int
+    spec: ExperimentSpec,
+    net: Network,
+    base: Basestation,
+    queries_issued: int,
+    wall_clock_s: float = 0.0,
 ) -> ExperimentResult:
     census = net.census
     tracker = net.tracker
     root = spec.scoop.basestation_id
     targeted = [len(q.nodes_targeted) for q in base.query_log]
+    metrics = TrialMetrics.collect(
+        census,
+        net.energy,
+        root=root,
+        planner=getattr(base, "planner_stats", None),
+        sim_time_s=net.sim.now,
+        wall_clock_s=wall_clock_s,
+    )
     return ExperimentResult(
         spec=spec,
         breakdown=census.breakdown(),
@@ -286,6 +324,7 @@ def _collect(
         remaps_suppressed=getattr(base, "remaps_suppressed", 0),
         indices_disseminated=len(base.index_history),
         mean_nodes_targeted=(sum(targeted) / len(targeted)) if targeted else 0.0,
+        metrics=metrics,
     )
 
 

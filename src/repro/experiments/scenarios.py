@@ -38,7 +38,9 @@ def _config(domain: ValueDomain, **overrides) -> ScoopConfig:
     return ScoopConfig(domain=domain, **overrides)
 
 
-def _spec(policy: str, workload: str, domain: ValueDomain, seed: int = 1, **kw) -> ExperimentSpec:
+def _spec(
+    policy: str, workload: str, domain: ValueDomain, seed: int = 1, **kw
+) -> ExperimentSpec:
     config_kw = {k: v for k, v in kw.items() if k in ScoopConfig.__dataclass_fields__}
     other_kw = {k: v for k, v in kw.items() if k not in config_kw}
     spec = ExperimentSpec(
@@ -286,15 +288,11 @@ SCENARIOS: Dict[str, Callable[[int], LabelledSpecs]] = {
     "fig3_middle": lambda seed: _policy_labels(fig3_middle(seed)),
     "fig3_right": lambda seed: _policy_labels(fig3_right(seed)),
     "fig4_selectivity": _trials_fig4,
-    "fig5_query_interval": lambda seed: _series_labels(
-        "qi", fig5_query_interval(seed)
-    ),
+    "fig5_query_interval": lambda seed: _series_labels("qi", fig5_query_interval(seed)),
     "loss_rates": _trials_loss_rates,
     "root_skew": lambda seed: _policy_labels(root_skew(seed)),
     "scaling": lambda seed: _series_labels("n", scaling(seed)),
-    "sample_interval": lambda seed: _series_labels(
-        "si", sample_interval_sweep(seed)
-    ),
+    "sample_interval": lambda seed: _series_labels("si", sample_interval_sweep(seed)),
     "ablation_extensions": _trials_ablation_extensions,
     "ablation_statistics": _trials_ablation_statistics,
     "smoke": lambda seed: _policy_labels(smoke(seed)),

@@ -20,7 +20,7 @@ root in SCOOP would have to be replaced every two weeks."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 #: nanojoules per bit transmitted or received over the radio.
@@ -44,7 +44,12 @@ class NodeEnergy:
 
     @property
     def total_nj(self) -> float:
-        return self.radio_tx_nj + self.radio_rx_nj + self.flash_write_nj + self.flash_read_nj
+        return (
+            self.radio_tx_nj
+            + self.radio_rx_nj
+            + self.flash_write_nj
+            + self.flash_read_nj
+        )
 
     @property
     def total_j(self) -> float:
@@ -79,6 +84,22 @@ class EnergyMeter:
 
     def total_j(self) -> float:
         return sum(e.total_j for e in self._nodes.values())
+
+    def component_totals_j(self) -> Dict[str, float]:
+        """Network-wide energy per component, in joules (the paper's radio
+        vs flash cost split, Section 2.1)."""
+        totals = {
+            "radio_tx": 0.0,
+            "radio_rx": 0.0,
+            "flash_write": 0.0,
+            "flash_read": 0.0,
+        }
+        for e in self._nodes.values():
+            totals["radio_tx"] += e.radio_tx_nj
+            totals["radio_rx"] += e.radio_rx_nj
+            totals["flash_write"] += e.flash_write_nj
+            totals["flash_read"] += e.flash_read_nj
+        return {name: nj / NJ_PER_J for name, nj in totals.items()}
 
     def mean_node_j(self, exclude: tuple[int, ...] = ()) -> float:
         nodes = [n for n in self._nodes if n not in exclude]

@@ -19,7 +19,7 @@ Writes and reads are billed to an optional :class:`~repro.sim.energy.EnergyMeter
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.energy import EnergyMeter
 

@@ -87,13 +87,17 @@ class Simulator:
         """Current simulation time in seconds."""
         return self._now
 
-    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         return self.schedule_at(self._now + delay, fn, *args)
 
-    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+    def schedule_at(
+        self, time: float, fn: Callable[..., None], *args: Any
+    ) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute simulation ``time``."""
         if time < self._now:
             raise SimulationError(
@@ -146,7 +150,9 @@ class Simulator:
         while self.step():
             executed += 1
             if executed > max_events:
-                raise SimulationError("run_until_idle exceeded max_events; runaway loop?")
+                raise SimulationError(
+                    "run_until_idle exceeded max_events; runaway loop?"
+                )
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""

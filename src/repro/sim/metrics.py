@@ -13,13 +13,19 @@ separate buckets so they can still be inspected.
 :class:`DeliveryTracker` records end-to-end outcomes (was a produced reading
 eventually stored? at its mapped owner or at the root? did a query reply
 make it back?) used by the loss-rate experiment (E6).
+
+:class:`TrialMetrics` is the structured per-trial telemetry record — every
+counter the census and energy meter accumulate, folded into one JSON-ready
+dataclass that rides on
+:class:`~repro.experiments.runner.ExperimentResult` and feeds the
+per-campaign JSON export.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.sim.packets import COST_KINDS, Frame, FrameKind
 
@@ -101,6 +107,116 @@ class MessageCensus:
         mean = sum(loads) / len(loads)
         return max(loads) / mean if mean > 0 else 0.0
 
+    def node_loads(self) -> Dict[int, int]:
+        """Per-node sent+received message load (the paper's cost kinds)."""
+        nodes = set(self.sent) | set(self.received)
+        return {n: self.node_sent(n) + self.node_received(n) for n in sorted(nodes)}
+
+
+@dataclass
+class TrialMetrics:
+    """Structured per-trial telemetry: the lossless breakdown record.
+
+    Everything the census, energy meter, and cost model accumulate during
+    one simulated trial, in JSON-ready form (string keys throughout, so a
+    ``to_dict``/``from_dict`` round trip through ``json`` is the identity).
+    Carried on :class:`~repro.experiments.runner.ExperimentResult` and
+    exported per campaign; ``None`` for analytical evaluations, which have
+    no simulator to meter.
+    """
+
+    #: Transmissions by :class:`~repro.sim.packets.FrameKind` value — all
+    #: kinds, including the beacon/ack buckets outside the paper's metric.
+    messages_sent: Dict[str, int] = field(default_factory=dict)
+    #: Deliveries by kind (a broadcast may be received more than once).
+    messages_received: Dict[str, int] = field(default_factory=dict)
+    #: Network-wide energy in joules by component:
+    #: radio_tx / radio_rx / flash_write / flash_read.
+    energy_j: Dict[str, float] = field(default_factory=dict)
+    #: The root's own energy split, same component keys (E7).
+    root_energy_j: Dict[str, float] = field(default_factory=dict)
+    #: Per-node sent+received cost-kind messages, keyed by node id (as a
+    #: string, for JSON losslessness). The root's entry is the paper's
+    #: "load on the root" series.
+    node_load: Dict[str, int] = field(default_factory=dict)
+    #: max/mean of node_load — the E7 skew statistic.
+    load_skew: float = 0.0
+    #: Basestation planner counters (cost-model builds, Dijkstra runs,
+    #: point queries) — the index-construction side of the cost story.
+    planner: Dict[str, int] = field(default_factory=dict)
+    #: Simulated seconds this trial covered (stabilization + measured +
+    #: drain).
+    sim_time_s: float = 0.0
+    #: Wall-clock seconds the simulation took. The one field that is NOT
+    #: deterministic in the spec; campaign determinism checks must ignore
+    #: it (see ``deterministic_dict`` on ExperimentResult).
+    wall_clock_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "messages_sent": dict(self.messages_sent),
+            "messages_received": dict(self.messages_received),
+            "energy_j": dict(self.energy_j),
+            "root_energy_j": dict(self.root_energy_j),
+            "node_load": dict(self.node_load),
+            "load_skew": self.load_skew,
+            "planner": dict(self.planner),
+            "sim_time_s": self.sim_time_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Optional[Mapping[str, object]]
+    ) -> Optional["TrialMetrics"]:
+        if data is None:
+            return None
+        return cls(**{f: data[f] for f in cls.__dataclass_fields__ if f in data})
+
+    @classmethod
+    def collect(
+        cls,
+        census: "MessageCensus",
+        energy,
+        root: int,
+        planner: Optional[Dict[str, int]] = None,
+        sim_time_s: float = 0.0,
+        wall_clock_s: float = 0.0,
+    ) -> "TrialMetrics":
+        """Fold one trial's accounting objects into a metrics record.
+
+        ``energy`` is the network's :class:`~repro.sim.energy.EnergyMeter`
+        (typed loosely to keep this module free of an energy import cycle).
+        """
+        root_e = energy.node_energy(root)
+        return cls(
+            messages_sent={
+                str(kind): count
+                for kind, count in sorted(
+                    census.sent_by_kind().items(), key=lambda kv: kv[0].value
+                )
+            },
+            messages_received={
+                str(kind): count
+                for kind, count in sorted(
+                    census.received_by_kind().items(), key=lambda kv: kv[0].value
+                )
+            },
+            energy_j=energy.component_totals_j(),
+            root_energy_j={
+                "radio_tx": root_e.radio_tx_nj / 1e9,
+                "radio_rx": root_e.radio_rx_nj / 1e9,
+                "flash_write": root_e.flash_write_nj / 1e9,
+                "flash_read": root_e.flash_read_nj / 1e9,
+            },
+            node_load={str(n): load for n, load in census.node_loads().items()},
+            load_skew=census.skew(),
+            planner=dict(planner or {}),
+            sim_time_s=sim_time_s,
+            wall_clock_s=wall_clock_s,
+        )
+
 
 @dataclass
 class ReadingOutcome:
@@ -174,13 +290,17 @@ class DeliveryTracker:
     def owner_hit_rate(self) -> float:
         """Of stored readings with a known intended owner, the fraction
         stored exactly there (paper: ~85%, rest fall back to the root)."""
-        relevant = [r for r in self.readings if r.stored and r.intended_owner is not None]
+        relevant = [
+            r for r in self.readings if r.stored and r.intended_owner is not None
+        ]
         if not relevant:
             return 0.0
         return sum(1 for r in relevant if r.stored_at_owner) / len(relevant)
 
     # -- queries ---------------------------------------------------------
-    def query_issued(self, query_id: int, time: float, nodes_targeted: int) -> QueryOutcome:
+    def query_issued(
+        self, query_id: int, time: float, nodes_targeted: int
+    ) -> QueryOutcome:
         outcome = QueryOutcome(
             query_id=query_id, issued_at=time, nodes_targeted=nodes_targeted
         )

@@ -24,7 +24,7 @@ from repro.sim.kernel import Simulator, Timer
 from repro.sim.linkest import LinkEstimator
 from repro.sim.packets import BROADCAST, Frame, FrameKind
 from repro.sim.radio import Radio
-from repro.sim.routing_tree import BeaconPayload, RoutingTree
+from repro.sim.routing_tree import RoutingTree
 
 
 class Mote:
@@ -81,7 +81,9 @@ class Mote:
         if self.booted:
             return
         self.booted = True
-        self._beacon_timer.start(delay=self.sim.rng.uniform(0.1, self.tree.beacon_interval))
+        self._beacon_timer.start(
+            delay=self.sim.rng.uniform(0.1, self.tree.beacon_interval)
+        )
         self.on_boot()
 
     def on_boot(self) -> None:
@@ -127,7 +129,9 @@ class Mote:
     ) -> None:
         self.radio.unicast(self.make_frame(dst, kind, payload, **kw), done=done)
 
-    def forward(self, frame: Frame, dst: int, done: Optional[Callable[[bool], None]] = None) -> None:
+    def forward(
+        self, frame: Frame, dst: int, done: Optional[Callable[[bool], None]] = None
+    ) -> None:
         """Forward a received frame one more hop, preserving origin headers.
 
         Frames whose TTL is exhausted are dropped (loop protection)."""

@@ -9,7 +9,7 @@ stabilization period, then run the measured workload phase.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
 from repro.sim.energy import EnergyMeter
 from repro.sim.kernel import Simulator

@@ -27,7 +27,7 @@ protocol layer can forget to pay for a transmission.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.sim.kernel import Simulator
@@ -145,7 +145,9 @@ class Radio:
             raise ValueError("broadcast() requires frame.dst == BROADCAST")
         self._enqueue(frame.src, {"frame": frame, "done": None, "tries": 1})
 
-    def unicast(self, frame: Frame, done: Optional[Callable[[bool], None]] = None) -> None:
+    def unicast(
+        self, frame: Frame, done: Optional[Callable[[bool], None]] = None
+    ) -> None:
         """Queue an acknowledged unicast frame.
 
         ``done(success)`` fires after the final attempt; ``success`` is True
@@ -265,7 +267,11 @@ class Radio:
                 frame=frame, tries_left=entry["tries"] - 1, done=entry["done"]
             )
             pending.ack_handle = self.sim.schedule(
-                self.config.ack_timeout, self._ack_timeout, tx.src, entry, frame.frame_id
+                self.config.ack_timeout,
+                self._ack_timeout,
+                tx.src,
+                entry,
+                frame.frame_id,
             )
             self._pending_acks[frame.frame_id] = pending
         else:
@@ -315,11 +321,15 @@ class Radio:
 
     def _send_ack_now(self, ack: Frame) -> None:
         airtime = ack.size_bits() / self.config.bitrate_bps
-        tx = _Transmission(src=ack.src, frame=ack, start=self.sim.now, end=self.sim.now + airtime)
+        tx = _Transmission(
+            src=ack.src, frame=ack, start=self.sim.now, end=self.sim.now + airtime
+        )
         self._air.append(tx)
         if self._on_transmit is not None:
             self._on_transmit(ack.src, ack)
-        self.sim.schedule(airtime, self._finish_transmission, tx, {"done": None, "tries": 1})
+        self.sim.schedule(
+            airtime, self._finish_transmission, tx, {"done": None, "tries": 1}
+        )
 
     def _handle_ack_arrival(self, receiver: int, ack_frame: Frame) -> None:
         payload: _AckPayload = ack_frame.payload
@@ -328,7 +338,9 @@ class Radio:
             return  # duplicate or stale ACK
         if pending.ack_handle is not None:
             pending.ack_handle.cancel()
-        self._complete_entry(receiver, {"done": pending.done, "frame": pending.frame}, True)
+        self._complete_entry(
+            receiver, {"done": pending.done, "frame": pending.frame}, True
+        )
 
     def _ack_timeout(self, sender: int, entry: dict, frame_id: int) -> None:
         pending = self._pending_acks.pop(frame_id, None)

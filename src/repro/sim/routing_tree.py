@@ -23,9 +23,9 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.sim.kernel import Simulator, Timer
+from repro.sim.kernel import Simulator
 from repro.sim.linkest import LinkEstimator
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -115,7 +115,8 @@ class Topology:
         if self._etx_cache is None:
             graph = self._etx_graph()
             cache: Dict[Tuple[int, int], float] = {}
-            for origin, lengths in nx.all_pairs_dijkstra_path_length(graph, weight="weight"):
+            pairs = nx.all_pairs_dijkstra_path_length(graph, weight="weight")
+            for origin, lengths in pairs:
                 for target, dist in lengths.items():
                     cache[(origin, target)] = dist
             object.__setattr__(self, "_etx_cache", cache)
@@ -148,7 +149,9 @@ def line(n: int, link_loss: float = 0.0) -> Topology:
     return Topology(n=n, loss=loss, positions=positions, name=f"line-{n}")
 
 
-def grid(rows: int, cols: int, link_loss: float = 0.0, diagonal: bool = False) -> Topology:
+def grid(
+    rows: int, cols: int, link_loss: float = 0.0, diagonal: bool = False
+) -> Topology:
     """A 2-D lattice with 4-connectivity (8 if ``diagonal``)."""
     n = rows * cols
     loss = [[OUT_OF_RANGE] * n for _ in range(n)]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 import hashlib
 import random
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.config import ValueDomain
 

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Callable, FrozenSet, Optional, Sequence, Tuple
 
 from repro.core.config import (
-    ScoopConfig,
     ValueDomain,
     dataclass_from_dict,
     dataclass_to_dict,
@@ -96,7 +95,9 @@ class QueryGenerator:
 
     def node_set(self) -> FrozenSet[int]:
         count = max(1, round(self.plan.node_frac * len(self.sensor_ids)))
-        return frozenset(self.rng.sample(self.sensor_ids, min(count, len(self.sensor_ids))))
+        return frozenset(
+            self.rng.sample(self.sensor_ids, min(count, len(self.sensor_ids)))
+        )
 
     def next_query(self, now: float) -> Query:
         t_lo = max(0.0, now - self.plan.time_window)

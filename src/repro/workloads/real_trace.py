@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.config import ValueDomain
 from repro.workloads.base import Workload
@@ -78,8 +78,8 @@ class CorrelatedLightWorkload(Workload):
                 y = (self.positions[node][1] - min(ys)) / h
                 gradient = (x - 0.5) * span * 0.55 * spatial_spread
                 window_band = math.sin(2.5 * math.pi * y) * span * 0.18
-                self._offsets[node] = gradient + window_band + rng.gauss(
-                    0.0, span * 0.03
+                self._offsets[node] = (
+                    gradient + window_band + rng.gauss(0.0, span * 0.03)
                 )
         else:
             for node in range(n_nodes):

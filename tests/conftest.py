@@ -18,9 +18,7 @@ def build_scoop_network(
     data_source=None,
 ) -> Tuple[Network, Basestation, List[ScoopNode]]:
     """A fully wired Scoop network over ``topology`` (node 0 = base)."""
-    config = config or ScoopConfig(
-        n_nodes=topology.n, domain=ValueDomain(0, 100)
-    )
+    config = config or ScoopConfig(n_nodes=topology.n, domain=ValueDomain(0, 100))
     net = Network(topology, seed=seed)
     base = Basestation(
         net.sim, net.radio, config, tracker=net.tracker, energy=net.energy

@@ -9,7 +9,6 @@ import pytest
 
 from repro.core.config import ScoopConfig, ValueDomain
 from repro.core.query import Query
-from repro.sim.packets import FrameKind
 from repro.sim.topology import line, perfect, random_geometric
 from repro.workloads.synthetic import GaussianWorkload, UniqueWorkload
 from tests.conftest import build_scoop_network

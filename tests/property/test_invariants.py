@@ -76,9 +76,7 @@ def test_observed_values_have_positive_probability(values, n_bins):
 # Storage index properties
 # ----------------------------------------------------------------------
 def owners_strategy(size):
-    return st.lists(
-        st.integers(0, 30), min_size=size, max_size=size
-    )
+    return st.lists(st.integers(0, 30), min_size=size, max_size=size)
 
 
 @given(data=st.data(), domain_size=st.integers(1, 80))

@@ -1,6 +1,5 @@
 """Unit tests for the LOCAL, BASE and HASH baselines."""
 
-import pytest
 
 from repro.baselines.hash_static import (
     AnalyticalHashModel,
@@ -25,9 +24,7 @@ def build_policy_network(node_cls, base_cls, n=5, config=None, source=None):
     net = Network(topo, seed=1)
     base = base_cls(net.sim, net.radio, config, tracker=net.tracker)
     nodes = [
-        node_cls(
-            i, net.sim, net.radio, config, data_source=source, tracker=net.tracker
-        )
+        node_cls(i, net.sim, net.radio, config, data_source=source, tracker=net.tracker)
         for i in config.sensor_ids
     ]
     net.add_mote(base)
@@ -147,9 +144,7 @@ class TestHash:
             assert index.owner_of(v) in range(1, 10)
 
     def test_analytical_estimate_positive(self):
-        config = ScoopConfig(
-            n_nodes=5, domain=DOMAIN, duration=300.0
-        )
+        config = ScoopConfig(n_nodes=5, domain=DOMAIN, duration=300.0)
         topo = line(5)
         model = AnalyticalHashModel(topo, config)
         workload = UniqueWorkload(DOMAIN, 5)

@@ -1,6 +1,5 @@
 """Unit tests for the basestation: remapping, suppression, query planning."""
 
-import pytest
 
 from repro.core.config import ScoopConfig, ValueDomain
 from repro.core.histogram import Histogram
@@ -74,9 +73,7 @@ class TestRemapping:
         assert len(base.index_history) >= 1
 
     def test_store_local_fallback_disseminates_sentinel(self):
-        config = ScoopConfig(
-            n_nodes=6, domain=DOMAIN, allow_store_local_fallback=True
-        )
+        config = ScoopConfig(n_nodes=6, domain=DOMAIN, allow_store_local_fallback=True)
         net, base, nodes = booted_network(config=config)
         for origin in (1, 2, 3, 4, 5):
             feed_summary(base, origin, [50] * 5, net.sim.now)

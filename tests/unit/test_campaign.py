@@ -26,7 +26,6 @@ from repro.experiments.campaign import (
     CampaignResult,
     Trial,
     TrialResult,
-    default_analytical,
     run_cached,
     run_campaign,
 )
@@ -179,9 +178,7 @@ class TestSpecSerialization:
 
     def test_result_round_trip(self):
         result = fake_result(small_spec(), total=42.0, queries_issued=7)
-        clone = ExperimentResult.from_dict(
-            json.loads(json.dumps(result.to_dict()))
-        )
+        clone = ExperimentResult.from_dict(json.loads(json.dumps(result.to_dict())))
         assert clone == result
 
 
@@ -327,12 +324,18 @@ class TestCampaignExecution:
         assert serial.executed == parallel.executed == 4
         for s, p in zip(serial.trials, parallel.trials):
             assert s.trial.key == p.trial.key
-            assert s.result.to_dict() == p.result.to_dict()
+            # Every spec-determined field is bit-identical; wall-clock
+            # timing (metrics.wall_clock_s) is the one execution-specific
+            # field and is excluded by deterministic_dict().
+            assert s.result.deterministic_dict() == p.result.deterministic_dict()
+            assert s.result.metrics.wall_clock_s > 0
+            assert p.result.metrics.wall_clock_s > 0
             assert s.result.total_messages == p.result.total_messages
             assert s.result.breakdown == p.result.breakdown
 
         # A repeat over the serial run's disk cache executes nothing and
-        # reproduces every result exactly.
+        # reproduces every result exactly — including the recorded timing,
+        # so the full dicts match here.
         replay = run_campaign(
             self._campaign(), jobs=4, cache=ResultCache(tmp_path / "a")
         )
@@ -372,8 +375,8 @@ class TestCampaignExecution:
             campaign = Campaign.from_specs("plugin", specs)
             serial = run_campaign(campaign, jobs=1, cache=ResultCache(tmp_path / "s"))
             par = run_campaign(campaign, jobs=2, cache=ResultCache(tmp_path / "p"))
-            assert [r.to_dict() for r in serial.results] == [
-                r.to_dict() for r in par.results
+            assert [r.deterministic_dict() for r in serial.results] == [
+                r.deterministic_dict() for r in par.results
             ]
         finally:
             unregister_policy("scoop-plugin")
@@ -385,7 +388,10 @@ class TestCampaignExecution:
         assert first.executed == 1
         refreshed = run_campaign(campaign, cache=cache, refresh=True)
         assert refreshed.executed == 1
-        assert refreshed.results[0].to_dict() == first.results[0].to_dict()
+        assert (
+            refreshed.results[0].deterministic_dict()
+            == first.results[0].deterministic_dict()
+        )
         before = cache.disk_entries()
         uncached = run_campaign(campaign, use_cache=False)
         assert uncached.executed == 1

@@ -6,7 +6,6 @@ basestation, likely producers attract their values, and lossy links repel
 ownership.
 """
 
-import pytest
 
 from repro.core.config import ScoopConfig, ValueDomain
 from repro.core.cost_model import NetworkModel
@@ -151,9 +150,7 @@ class TestStoreLocalComparison:
     def test_fallback_chosen_when_cheaper(self):
         # Zero queries: store-local costs nothing, any shipping costs more.
         config = make_config(allow_store_local_fallback=True)
-        stats = line_statistics(
-            config, {1: [5] * 5, 2: [5] * 5, 3: [5] * 5}
-        )
+        stats = line_statistics(config, {1: [5] * 5, 2: [5] * 5, 3: [5] * 5})
         model = NetworkModel.from_statistics(stats)
         result = build_storage_index(1, stats, model, config, now=200.0)
         if result.expected_cost > 0:

@@ -125,7 +125,9 @@ class TestRoutingTree:
 
     def test_cycle_cost_ceiling(self):
         tree, _ = make_tree(5)
-        tree.on_beacon(1, BeaconPayload(path_etx=RoutingTree.MAX_PATH_ETX + 1, parent=0))
+        tree.on_beacon(
+            1, BeaconPayload(path_etx=RoutingTree.MAX_PATH_ETX + 1, parent=0)
+        )
         assert tree.parent is None
 
     def test_neighbor_parents_tracked(self):

@@ -40,8 +40,13 @@ class TestFrames:
 
     def test_forward_preserves_origin_decrements_ttl(self):
         frame = Frame(
-            src=1, dst=2, kind=FrameKind.SUMMARY, payload=None, origin=9,
-            origin_parent=4, ttl=10,
+            src=1,
+            dst=2,
+            kind=FrameKind.SUMMARY,
+            payload=None,
+            origin=9,
+            origin_parent=4,
+            ttl=10,
         )
         fwd = frame.copy_for_forward(src=2, dst=3, seqno=77)
         assert fwd.origin == 9 and fwd.origin_parent == 4

@@ -4,12 +4,11 @@ These run tiny fully-connected lossless networks so protocol behaviour is
 deterministic and assertions can be exact.
 """
 
-import pytest
 
 from repro.core.config import ScoopConfig, ValueDomain
 from repro.core.messages import DataMessage, QueryMessage
 from repro.core.storage_index import STORE_LOCAL, StorageIndex
-from repro.sim.topology import line, perfect
+from repro.sim.topology import perfect
 from tests.conftest import build_scoop_network
 
 DOMAIN = ValueDomain(0, 100)
@@ -28,9 +27,7 @@ def install_index(net, base, nodes, owner_by_value, sid=1):
 
 def stabilised(config=None, n=6, topo=None):
     topo = topo or perfect(n)
-    config = config or ScoopConfig(
-        n_nodes=topo.n, domain=DOMAIN, beacon_interval=5.0
-    )
+    config = config or ScoopConfig(n_nodes=topo.n, domain=DOMAIN, beacon_interval=5.0)
     net, base, nodes = build_scoop_network(topo, config=config)
     net.boot_all(within=2.0)
     net.run(60.0)

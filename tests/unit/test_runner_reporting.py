@@ -3,7 +3,6 @@ remaining substrate plumbing (mote dispatch, network assembly, trace
 loader)."""
 
 import dataclasses
-import math
 
 import pytest
 
@@ -26,7 +25,7 @@ from repro.experiments.runner import (
 from repro.experiments import scenarios
 from repro.sim.mote import Mote
 from repro.sim.network import Network
-from repro.sim.packets import BROADCAST, Frame, FrameKind
+from repro.sim.packets import Frame, FrameKind
 from repro.sim.topology import perfect
 from repro.workloads.real_trace import IntelLabTraceWorkload
 
@@ -60,9 +59,7 @@ class TestExperimentSpec:
         assert scale_spec(spec, 1.0) is spec
 
     def test_build_topology_kinds(self):
-        spec = ExperimentSpec(
-            scoop=ScoopConfig(n_nodes=20, domain=ValueDomain(0, 100))
-        )
+        spec = ExperimentSpec(scoop=ScoopConfig(n_nodes=20, domain=ValueDomain(0, 100)))
         assert build_topology(spec).n == 20
         geo = dataclasses.replace(spec, topology_kind="geometric")
         assert build_topology(geo).n == 20
@@ -138,9 +135,7 @@ class TestReporting:
         assert "scoop/real" in text and "local/real" in text
 
     def test_series_table(self):
-        text = series_table(
-            "x", {"scoop": [1, 2], "base": [3, 4]}, ["a", "b"], "T"
-        )
+        text = series_table("x", {"scoop": [1, 2], "base": [3, 4]}, ["a", "b"], "T")
         assert "scoop (messages)" in text and "base (messages)" in text
 
     def test_rates_table_mentions_paper_targets(self):

@@ -164,9 +164,7 @@ class TestNetworkModel:
         assert hop_cost(0.0) == hop_cost(MIN_QUALITY)
 
     def test_xmits_shortest_path(self):
-        model = NetworkModel.from_edges(
-            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.5)]
-        )
+        model = NetworkModel.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.5)])
         # direct edge costs 4, two-hop path costs 2
         assert model.xmits(0, 2) == pytest.approx(2.0)
 

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.sim.topology import (
-    OUT_OF_RANGE,
     Topology,
     from_loss_matrix,
     grid,
@@ -130,16 +129,12 @@ class TestValidationAndQueries:
         assert topo.delivery(1, 0) == pytest.approx(0.7)
 
     def test_in_neighbors(self):
-        topo = from_loss_matrix(
-            [[1.0, 0.1, 1.0], [1.0, 1.0, 0.1], [1.0, 1.0, 1.0]]
-        )
+        topo = from_loss_matrix([[1.0, 0.1, 1.0], [1.0, 1.0, 0.1], [1.0, 1.0, 1.0]])
         assert topo.in_neighbors(1) == [0]
         assert topo.in_neighbors(2) == [1]
 
     def test_unreachable_path_is_inf(self):
-        topo = from_loss_matrix(
-            [[1.0, 0.0, 1.0], [0.0, 1.0, 1.0], [1.0, 1.0, 1.0]]
-        )
+        topo = from_loss_matrix([[1.0, 0.0, 1.0], [0.0, 1.0, 1.0], [1.0, 1.0, 1.0]])
         assert math.isinf(topo.path_etx(0, 2))
 
     def test_path_etx_self_is_zero(self):
