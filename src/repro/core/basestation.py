@@ -260,6 +260,7 @@ class Basestation(ScoopNode):
             value_range=query.value_range,
             issued_at=now,
             node_filter=query.node_list,
+            bitmap_bytes=self.config.query_bitmap_bytes,
         )
         self._open_queries[query.query_id] = result
         if self.tracker is not None:

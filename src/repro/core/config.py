@@ -16,6 +16,8 @@ import typing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.messages import bitmap_wire_bytes
+
 
 def dataclass_to_dict(obj) -> Dict[str, object]:
     """Generic dataclass → JSON-ready dict.
@@ -147,7 +149,9 @@ class ScoopConfig:
     #: Nodes including the basestation ("size: 62 nodes + 1 base").
     n_nodes: int = 63
     #: Query bitmap capacity ("an upper bound to the size of the sensor
-    #: network; 128 nodes in our current implementation").
+    #: network; 128 nodes in our current implementation"). Raise it to run
+    #: networks past the paper's testbed — every query then carries a
+    #: proportionally wider bitmap (:attr:`query_bitmap_bytes`).
     max_network_size: int = 128
 
     # -- data / statistics ------------------------------------------------
@@ -234,10 +238,12 @@ class ScoopConfig:
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError("need at least a basestation and one sensor")
+        if self.max_network_size < 2:
+            raise ValueError("max_network_size must be >= 2")
         if self.n_nodes > self.max_network_size:
             raise ValueError(
                 f"{self.n_nodes} nodes exceeds the {self.max_network_size}-node "
-                "query bitmap"
+                "query bitmap; raise max_network_size to widen it"
             )
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -256,6 +262,17 @@ class ScoopConfig:
         return dataclass_from_dict(
             cls, data, converters={"domain": ValueDomain.from_dict}
         )
+
+    @property
+    def query_bitmap_bytes(self) -> int:
+        """Wire width of the query node bitmap: one bit per addressable
+        node, so ``ceil(max_network_size / 8)`` bytes.
+
+        The paper's 128-node implementation fixes this at 16 bytes; here
+        it is derived, so a 256-node deployment automatically prices its
+        queries with a 32-byte bitmap across every policy.
+        """
+        return bitmap_wire_bytes(self.max_network_size)
 
     @property
     def basestation_id(self) -> int:

@@ -36,6 +36,20 @@ READING_WIRE_BYTES = 4
 #: Bytes per (lo, hi, owner) entry in a mapping chunk.
 MAPPING_ENTRY_BYTES = 5
 
+#: Query bitmap width of the paper's implementation (128 nodes / 8). The
+#: live width is derived from the deployment's configured capacity —
+#: :func:`bitmap_wire_bytes` / ``ScoopConfig.query_bitmap_bytes`` — and
+#: this constant is only the default for messages built without one.
+DEFAULT_BITMAP_BYTES = 16
+
+
+def bitmap_wire_bytes(capacity: int) -> int:
+    """Bytes of a node bitmap addressing ``capacity`` nodes (one bit
+    each, rounded up to whole bytes)."""
+    if capacity < 1:
+        raise ValueError(f"bitmap capacity must be >= 1, got {capacity}")
+    return (capacity + 7) // 8
+
 #: Entries that fit in one mapping chunk given the TinyOS payload.
 MAX_ENTRIES_PER_CHUNK = 5
 
@@ -118,10 +132,27 @@ class QueryMessage:
     #: (Distinct from ``bitmap``: under LOCAL the flood must reach every
     #: node, but only the listed producers' data is wanted.)
     node_filter: Optional[FrozenSet[int]] = None
+    #: wire width of the node bitmap(s), derived from the deployment's
+    #: configured capacity (``ScoopConfig.query_bitmap_bytes``): 16 bytes
+    #: for the paper's 128-node implementation, 32 at 256 nodes.
+    bitmap_bytes: int = DEFAULT_BITMAP_BYTES
+
+    def __post_init__(self) -> None:
+        limit = self.bitmap_bytes * 8
+        widest = max(self.bitmap | (self.node_filter or frozenset()), default=0)
+        if widest >= limit:
+            raise ValueError(f"node {widest} does not fit a {limit}-bit query bitmap")
 
     def wire_bytes(self) -> int:
-        # 128-bit bitmap + qid + time range + value range (+ filter bitmap)
-        return 16 + 2 + 8 + 4 + (16 if self.node_filter is not None else 0)
+        # node bitmap + qid + time range + value range (+ filter bitmap,
+        # same width)
+        return (
+            self.bitmap_bytes
+            + 2
+            + 8
+            + 4
+            + (self.bitmap_bytes if self.node_filter is not None else 0)
+        )
 
     def matches(self, value: int, timestamp: float, producer: int = -1) -> bool:
         t_lo, t_hi = self.time_range

@@ -7,18 +7,23 @@ Usage:
                                     [--export] [--export-dir DIR]
     python -m repro.experiments report [<scenario>|<export.json>]
                                     [--export-dir DIR]
+    python -m repro.experiments plot [<scenario>|<export.json>]
+                                    [--export-dir DIR] [--out-dir DIR]
+                                    [--format svg|png|svg,png]
     python -m repro.experiments list
     python -m repro.experiments clear-cache [--cache-dir DIR]
 
 Scenarios are the named grids of ``scenarios.py`` (E/A experiment ids from
-DESIGN.md work as aliases). ``--seeds K`` replicates every trial over K
-seeds and reports mean/stdev/95% CI per trial label; ``--jobs N`` fans the
-runs out over N worker processes — results are identical to a serial run.
-Completed trials land in the persistent result cache (keys salted with a
-source-tree hash, so code edits self-invalidate), so re-running a campaign
-is free. ``--export`` writes the campaign's canonical JSON document under
+DESIGN.md work as aliases; ``list`` prints the registry). ``--seeds K``
+replicates every trial over K seeds and reports mean/stdev/95% CI per
+trial label; ``--jobs N`` fans the runs out over N worker processes —
+results are identical to a serial run. Completed trials land in the
+persistent result cache (keys salted with a source-tree hash, so code
+edits self-invalidate), so re-running a campaign is free. ``--export``
+writes the campaign's canonical JSON document under
 ``benchmarks/results/campaigns/``; ``report`` renders the markdown figure
-table of the latest (or a given) export without running anything.
+table and ``plot`` the Figure-3/4/5-style charts of the latest (or a
+given) export — neither re-runs anything.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments.cache import ResultCache, default_cache_root
 from repro.experiments.campaign import Campaign, run_campaign
@@ -37,9 +42,11 @@ from repro.experiments.export import (
     latest_export,
     load_campaign_export,
 )
+from repro.experiments.plotting import plot_campaign
 from repro.experiments.reporting import campaign_table, figure_table_markdown
 from repro.experiments.scenarios import (
     SCENARIO_ALIASES,
+    SCENARIOS,
     bench_scale,
     scenario_names,
     scenario_trials,
@@ -96,6 +103,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--export-dir", default=None, help="export directory to search")
 
+    plot = sub.add_parser(
+        "plot",
+        help="render Figure-3/4/5-style charts (SVG/PNG) from a campaign export",
+    )
+    plot.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="scenario name or export file path (default: latest export)",
+    )
+    plot.add_argument("--export-dir", default=None, help="export directory to search")
+    plot.add_argument(
+        "--out-dir",
+        default=None,
+        help="image output directory (default: <export dir>/plots)",
+    )
+    plot.add_argument(
+        "--format",
+        default="svg",
+        help="comma-separated image formats: svg (always available) "
+        "and/or png (needs the optional cairosvg)",
+    )
+
     sub.add_parser("list", help="list scenarios and their trial grids")
 
     clear = sub.add_parser("clear-cache", help="delete all cached results")
@@ -105,13 +135,48 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list() -> int:
     print(f"scenarios (trial counts at scale {bench_scale():g}, one seed):")
-    aliases = {v: k for k, v in SCENARIO_ALIASES.items()}
+    width = max(len(name) for name in scenario_names()) + 6
     for name in scenario_names():
-        trials = scenario_trials(name)
-        alias = f" [{aliases[name]}]" if name in aliases else ""
-        print(f"  {name}{alias}: {len(trials)} trials")
+        scenario = SCENARIOS[name]
+        alias = f" [{scenario.alias}]" if scenario.alias else ""
+        head = f"{name}{alias}".ljust(width)
+        trials = len(scenario_trials(name))
+        print(f"  {head} {trials:3d} trials  {scenario.description}")
     print(f"\nresult cache: {default_cache_root()}")
+    print(f"campaign exports: {default_export_root()}")
     return 0
+
+
+def _resolve_export(
+    target: Optional[str], export_dir: Optional[str]
+) -> Tuple[Optional[Path], Optional[str]]:
+    """Resolve report/plot's target into an export file.
+
+    Returns ``(path, None)`` on success or ``(None, error message)``; the
+    message names the directory searched, and suggests ``list`` when the
+    target isn't a registered scenario either.
+    """
+    root = Path(export_dir) if export_dir else None
+    if target and (target.endswith(".json") or Path(target).is_file()):
+        path = Path(target)
+        if not path.is_file():
+            return None, f"export file {path} does not exist"
+        return path, None
+    scenario = SCENARIO_ALIASES.get(target, target) if target else None
+    path = latest_export(scenario, root=root)
+    if path is None:
+        where = root if root is not None else default_export_root()
+        what = f"scenario {target!r}" if target else "any campaign"
+        hint = (
+            "; run the scenario with --export first"
+            if scenario is None or scenario in SCENARIOS
+            else (
+                f"; {target!r} is not a registered scenario either — "
+                "`python -m repro.experiments list` shows the registry"
+            )
+        )
+        return None, f"no export for {what} under {where}{hint}"
+    return path, None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -169,18 +234,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    root = Path(args.export_dir) if args.export_dir else None
-    target = args.target
-    if target and (target.endswith(".json") or Path(target).is_file()):
-        path: Optional[Path] = Path(target)
-    else:
-        scenario = SCENARIO_ALIASES.get(target, target) if target else None
-        path = latest_export(scenario, root=root)
-        if path is None:
-            where = root if root is not None else default_export_root()
-            what = f"scenario {target!r}" if target else "any campaign"
-            print(f"error: no export for {what} under {where}", file=sys.stderr)
-            return 2
+    path, error = _resolve_export(args.target, args.export_dir)
+    if path is None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         doc = load_campaign_export(path)
     except (OSError, ValueError) as exc:
@@ -196,12 +253,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plot(args: argparse.Namespace) -> int:
+    path, error = _resolve_export(args.target, args.export_dir)
+    if path is None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        doc = load_campaign_export(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+    else:
+        out_dir = path.parent / "plots"
+    formats = [f.strip() for f in args.format.split(",") if f.strip()]
+    try:
+        written = plot_campaign(doc, out_dir, stem=path.stem, formats=formats)
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for image in written:
+        print(f"plot: {image}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "plot":
+        return _cmd_plot(args)
     if args.command == "clear-cache":
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
         removed = cache.clear()

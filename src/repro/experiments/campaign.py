@@ -32,7 +32,7 @@ from repro.experiments.runner import (
     run_hash_analytical,
     spec_key,
 )
-from repro.experiments.scenarios import scenario_trials
+from repro.experiments.scenarios import canonical_scenario_name, scenario_trials
 
 
 def default_analytical(spec: ExperimentSpec) -> bool:
@@ -254,9 +254,12 @@ class Campaign:
     ) -> "Campaign":
         """Expand a named scenario × ``seeds`` into a trial grid.
 
+        E/A aliases canonicalize here, so a campaign run as ``E13`` is
+        named (and exported/reported/plotted as) ``scaling_xl``.
         ``scale`` overrides both ``REPRO_BENCH_SCALE`` and ``REPRO_FULL``
         for the expansion: an explicit argument beats ambient env flags.
         """
+        scenario = canonical_scenario_name(scenario)
         trials: List[Trial] = []
         with _scale_override(scale):
             for seed in seeds:

@@ -33,7 +33,14 @@ from repro.experiments.registry import is_registered, known_policies, policy_fac
 from repro.experiments.salt import cache_salt
 from repro.sim.metrics import TrialMetrics
 from repro.sim.network import Network
-from repro.sim.topology import Topology, indoor_testbed, random_geometric
+from repro.sim.topology import (
+    Topology,
+    degrade,
+    indoor_testbed,
+    line,
+    near_square_grid,
+    random_geometric,
+)
 from repro.workloads import WORKLOAD_NAMES, Workload, make_workload
 from repro.workloads.queries import QueryGenerator, QueryPlanConfig
 
@@ -41,6 +48,10 @@ from repro.workloads.queries import QueryGenerator, QueryPlanConfig
 #: live set (including plug-in policies) is
 #: :func:`repro.experiments.registry.known_policies`.
 POLICIES = ("scoop", "local", "base", "hash")
+
+#: Topology profiles an :class:`ExperimentSpec` can name (all built from
+#: the generators in :mod:`repro.sim.topology`).
+TOPOLOGY_KINDS = ("testbed", "geometric", "line", "grid")
 
 #: Bumped whenever spec/result serialization changes shape, so stale
 #: entries in the persistent result cache miss instead of deserializing
@@ -58,9 +69,16 @@ class ExperimentSpec:
     scoop: ScoopConfig = field(default_factory=ScoopConfig)
     query_plan: QueryPlanConfig = field(default_factory=QueryPlanConfig)
     seed: int = 0
-    #: "testbed" (the 62+1 indoor layout) or "geometric" (the simulated
-    #: topology profile); or pass an explicit topology to run_experiment.
+    #: Topology profile: "testbed" (the 62+1 indoor layout), "geometric"
+    #: (the simulated ~20%-degree profile), "line" (1-D chain) or "grid"
+    #: (near-square lattice); or pass an explicit topology to
+    #: run_experiment.
     topology_kind: str = "testbed"
+    #: Additional independent per-frame loss applied to every audible
+    #: link of the generated topology (the loss-sweep knob; see
+    #: :func:`repro.sim.topology.degrade`). 0 = the generator's native
+    #: loss regime — which is 0 for the lossless line/grid lattices.
+    link_loss: float = 0.0
 
     def __post_init__(self) -> None:
         if not is_registered(self.policy):
@@ -71,6 +89,13 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown workload {self.workload!r}; one of {WORKLOAD_NAMES}"
             )
+        if self.topology_kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.topology_kind!r}; "
+                f"one of {TOPOLOGY_KINDS}"
+            )
+        if not 0.0 <= self.link_loss < 1.0:
+            raise ValueError(f"link_loss must be in [0, 1), got {self.link_loss}")
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping; inverse of :meth:`from_dict`.
@@ -201,11 +226,18 @@ def scale_spec(spec: ExperimentSpec, factor: float) -> ExperimentSpec:
 
 
 def build_topology(spec: ExperimentSpec) -> Topology:
+    n = spec.scoop.n_nodes
     if spec.topology_kind == "testbed":
-        return indoor_testbed(spec.scoop.n_nodes, seed=spec.seed + 7)
-    if spec.topology_kind == "geometric":
-        return random_geometric(spec.scoop.n_nodes, seed=spec.seed + 7)
-    raise ValueError(f"unknown topology kind {spec.topology_kind!r}")
+        topo = indoor_testbed(n, seed=spec.seed + 7)
+    elif spec.topology_kind == "geometric":
+        topo = random_geometric(n, seed=spec.seed + 7)
+    elif spec.topology_kind == "line":
+        topo = line(n)
+    elif spec.topology_kind == "grid":
+        topo = near_square_grid(n)
+    else:
+        raise ValueError(f"unknown topology kind {spec.topology_kind!r}")
+    return degrade(topo, spec.link_loss)
 
 
 def build_motes(

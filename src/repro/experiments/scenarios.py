@@ -8,13 +8,16 @@ that regenerate the corresponding figure, at a time scale controlled by the
 shrinks only the duration — all rates stay at the paper's values — so the
 policy *ratios* the figures compare are preserved.
 
-The experiment ids (E1..E9, A1, A2) are indexed in DESIGN.md.
+The experiment ids (E1..E9, E11..E13, A1, A2) are indexed in DESIGN.md;
+E11..E13 go past the paper (topology profiles, a link-loss sweep, and
+64..256-node scaling under a widened query bitmap).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import sys
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.config import ScoopConfig, ValueDomain
@@ -235,16 +238,143 @@ def smoke(seed: int = 1) -> List[ExperimentSpec]:
 
 
 # ----------------------------------------------------------------------
+# Past-the-paper grids: topology profiles, loss sweep, XL scaling
+# ----------------------------------------------------------------------
+
+#: Per-link loss given to the lossless line/grid lattices so they sit in
+#: the paper's loss regime ("25 to about 90 percent" across audible
+#: pairs) instead of comparing ideal lattices against lossy testbeds.
+LATTICE_LINK_LOSS = 0.3
+
+#: Query-bitmap capacity of the XL scaling grid: double the paper's
+#: 128-node implementation limit, so every query carries a 32-byte
+#: bitmap (``ScoopConfig.query_bitmap_bytes``).
+XL_NETWORK_CAPACITY = 256
+
+
+def topology_profiles(
+    seed: int = 1,
+    n: int = 63,
+    kinds: Sequence[str] = ("line", "grid", "geometric", "testbed"),
+) -> List[Tuple[str, List[ExperimentSpec]]]:
+    """SCOOP vs LOCAL across topology generators at the testbed size."""
+    out = []
+    for kind in kinds:
+        link_loss = LATTICE_LINK_LOSS if kind in ("line", "grid") else 0.0
+        pair = [
+            _spec(
+                policy,
+                "real",
+                REAL_DOMAIN,
+                seed,
+                n_nodes=n,
+                topology_kind=kind,
+                link_loss=link_loss,
+            )
+            for policy in ("scoop", "local")
+        ]
+        out.append((kind, pair))
+    return out
+
+
+def loss_sweep(
+    seed: int = 1,
+    losses: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+) -> List[Tuple[float, List[ExperimentSpec]]]:
+    """SCOOP vs LOCAL as every testbed link degrades by 0..50% extra
+    loss (:func:`repro.sim.topology.degrade`)."""
+    out = []
+    for extra in losses:
+        pair = [
+            _spec(policy, "real", REAL_DOMAIN, seed, link_loss=extra)
+            for policy in ("scoop", "local")
+        ]
+        out.append((extra, pair))
+    return out
+
+
+def scaling_xl(
+    seed: int = 1, sizes: Sequence[int] = (64, 128, 192, 256)
+) -> List[Tuple[int, List[ExperimentSpec]]]:
+    """SCOOP vs LOCAL at 64..256 nodes under a 256-node query bitmap.
+
+    The whole series runs at ``XL_NETWORK_CAPACITY`` so trials differ
+    only in population, not deployment capacity: every query is priced
+    with the widened 32-byte bitmap at every size.
+    """
+    out = []
+    for n in sizes:
+        pair = [
+            _spec(
+                policy,
+                "real",
+                REAL_DOMAIN,
+                seed,
+                n_nodes=n,
+                max_network_size=XL_NETWORK_CAPACITY,
+            )
+            for policy in ("scoop", "local")
+        ]
+        out.append((n, pair))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Campaign-facing registry: scenario name -> labelled trial list
 # ----------------------------------------------------------------------
 #
 # The figure functions above keep their paper-shaped return types (lists,
 # (x, specs) series, dicts) for the benchmarks; the campaign engine needs
-# one uniform shape. Each entry maps a scenario name to a builder
+# one uniform shape. Each registered scenario is a builder
 # ``f(seed) -> [(label, spec), ...]`` where the label identifies the trial
-# *within* the scenario (seeds of the same label aggregate together).
+# *within* the scenario (seeds of the same label aggregate together); its
+# docstring's first line is the scenario's description in ``python -m
+# repro.experiments list``.
 
 LabelledSpecs = List[Tuple[str, ExperimentSpec]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioDef:
+    """One registry entry: how to build a scenario, and what it shows."""
+
+    name: str
+    build: Callable[[int], LabelledSpecs]
+    description: str
+    #: DESIGN.md experiment id ("E2", "A1", ...), usable as a CLI alias.
+    alias: str = ""
+
+
+SCENARIOS: Dict[str, ScenarioDef] = {}
+
+#: Experiment ids (DESIGN.md) as aliases for the scenario names (derived
+#: from the registrations below, never hand-kept).
+SCENARIO_ALIASES: Dict[str, str] = {}
+
+
+def register_scenario(name: str, alias: str = "") -> Callable:
+    """Register a scenario builder; its docstring's first line becomes
+    the registry description (the CLI ``list`` output and CI's scenario
+    matrix both read the registry, so a scenario cannot exist without a
+    description or land unexercised)."""
+
+    def _register(fn: Callable[[int], LabelledSpecs]) -> Callable:
+        if name in SCENARIOS or name in SCENARIO_ALIASES:
+            raise ValueError(f"scenario {name!r} is already registered")
+        doc = (fn.__doc__ or "").strip()
+        if not doc and sys.flags.optimize < 2:
+            # Under -OO docstrings are stripped wholesale; everywhere
+            # else a description is mandatory.
+            raise ValueError(f"scenario {name!r} needs a one-line docstring")
+        description = doc.splitlines()[0].strip() if doc else name
+        SCENARIOS[name] = ScenarioDef(name, fn, description, alias)
+        if alias:
+            if alias in SCENARIO_ALIASES or alias in SCENARIOS:
+                raise ValueError(f"scenario alias {alias!r} is already taken")
+            SCENARIO_ALIASES[alias] = name
+        return fn
+
+    return _register
 
 
 def _policy_labels(specs: Iterable[ExperimentSpec]) -> LabelledSpecs:
@@ -259,7 +389,27 @@ def _series_labels(prefix: str, series, fmt: str = "{:g}") -> LabelledSpecs:
     return out
 
 
-def _trials_fig4(seed: int) -> LabelledSpecs:
+@register_scenario("fig3_left", alias="E1")
+def _scn_fig3_left(seed: int) -> LabelledSpecs:
+    """Figure 3 (left): testbed cost breakdown by message type."""
+    return _policy_labels(fig3_left(seed))
+
+
+@register_scenario("fig3_middle", alias="E2")
+def _scn_fig3_middle(seed: int) -> LabelledSpecs:
+    """Figure 3 (middle): SCOOP vs LOCAL vs HASH vs BASE on REAL."""
+    return _policy_labels(fig3_middle(seed))
+
+
+@register_scenario("fig3_right", alias="E3")
+def _scn_fig3_right(seed: int) -> LabelledSpecs:
+    """Figure 3 (right): SCOOP across the five data sources."""
+    return _policy_labels(fig3_right(seed))
+
+
+@register_scenario("fig4_selectivity", alias="E4")
+def _scn_fig4(seed: int) -> LabelledSpecs:
+    """Figure 4: cost vs percentage of nodes queried (node-list queries)."""
     return [
         (f"frac={frac:g}/{s.policy}", s)
         for frac, specs in fig4_selectivity(seed)
@@ -267,61 +417,105 @@ def _trials_fig4(seed: int) -> LabelledSpecs:
     ]
 
 
-def _trials_loss_rates(seed: int) -> LabelledSpecs:
+@register_scenario("fig5_query_interval", alias="E5")
+def _scn_fig5(seed: int) -> LabelledSpecs:
+    """Figure 5: cost vs query interval."""
+    return _series_labels("qi", fig5_query_interval(seed))
+
+
+@register_scenario("loss_rates", alias="E6")
+def _scn_loss_rates(seed: int) -> LabelledSpecs:
+    """Section 6 text: storage success / owner hit / query retrieval rates."""
     spec = loss_rates(seed)
     return [(f"{spec.policy}/{spec.workload}", spec)]
 
 
-def _trials_ablation_extensions(seed: int) -> LabelledSpecs:
+@register_scenario("root_skew", alias="E7")
+def _scn_root_skew(seed: int) -> LabelledSpecs:
+    """Section 6 text: root-node load skew and battery lifetimes."""
+    return _policy_labels(root_skew(seed))
+
+
+@register_scenario("scaling", alias="E8")
+def _scn_scaling(seed: int) -> LabelledSpecs:
+    """Section 6 text: scaling to 100 nodes; RANDOM more size-sensitive."""
+    return _series_labels("n", scaling(seed))
+
+
+@register_scenario("sample_interval", alias="E9")
+def _scn_sample_interval(seed: int) -> LabelledSpecs:
+    """Section 6 text: per-source differences wash out at low data rates."""
+    return _series_labels("si", sample_interval_sweep(seed))
+
+
+@register_scenario("ablation_extensions", alias="A1")
+def _scn_ablation_extensions(seed: int) -> LabelledSpecs:
+    """Ablation: Section 4 extensions — owner sets, range placement."""
     return list(ablation_extensions(seed).items())
 
 
-def _trials_ablation_statistics(seed: int) -> LabelledSpecs:
+@register_scenario("ablation_statistics", alias="A2")
+def _scn_ablation_statistics(seed: int) -> LabelledSpecs:
+    """Ablation: remap-interval sweep — freshness vs mapping overhead."""
     return [
         (f"remap={interval:g}s", spec)
         for interval, spec in ablation_statistics(seed)
     ]
 
 
-SCENARIOS: Dict[str, Callable[[int], LabelledSpecs]] = {
-    "fig3_left": lambda seed: _policy_labels(fig3_left(seed)),
-    "fig3_middle": lambda seed: _policy_labels(fig3_middle(seed)),
-    "fig3_right": lambda seed: _policy_labels(fig3_right(seed)),
-    "fig4_selectivity": _trials_fig4,
-    "fig5_query_interval": lambda seed: _series_labels("qi", fig5_query_interval(seed)),
-    "loss_rates": _trials_loss_rates,
-    "root_skew": lambda seed: _policy_labels(root_skew(seed)),
-    "scaling": lambda seed: _series_labels("n", scaling(seed)),
-    "sample_interval": lambda seed: _series_labels("si", sample_interval_sweep(seed)),
-    "ablation_extensions": _trials_ablation_extensions,
-    "ablation_statistics": _trials_ablation_statistics,
-    "smoke": lambda seed: _policy_labels(smoke(seed)),
-}
+@register_scenario("topology_profiles", alias="E11")
+def _scn_topology_profiles(seed: int) -> LabelledSpecs:
+    """SCOOP vs LOCAL across line/grid/geometric/testbed topologies."""
+    return [
+        (f"topo={kind}/{s.policy}", s)
+        for kind, specs in topology_profiles(seed)
+        for s in specs
+    ]
 
-#: Experiment ids (DESIGN.md) as aliases for the scenario names.
-SCENARIO_ALIASES: Dict[str, str] = {
-    "E1": "fig3_left",
-    "E2": "fig3_middle",
-    "E3": "fig3_right",
-    "E4": "fig4_selectivity",
-    "E5": "fig5_query_interval",
-    "E6": "loss_rates",
-    "E7": "root_skew",
-    "E8": "scaling",
-    "E9": "sample_interval",
-    "A1": "ablation_extensions",
-    "A2": "ablation_statistics",
-}
+
+@register_scenario("loss_sweep", alias="E12")
+def _scn_loss_sweep(seed: int) -> LabelledSpecs:
+    """SCOOP vs LOCAL under 0..50% extra per-link loss on the testbed."""
+    return [
+        (f"loss={extra:g}/{s.policy}", s)
+        for extra, specs in loss_sweep(seed)
+        for s in specs
+    ]
+
+
+@register_scenario("scaling_xl", alias="E13")
+def _scn_scaling_xl(seed: int) -> LabelledSpecs:
+    """SCOOP vs LOCAL at 64..256 nodes with the widened 32-byte bitmap."""
+    return [(f"n={n}/{s.policy}", s) for n, specs in scaling_xl(seed) for s in specs]
+
+
+@register_scenario("smoke")
+def _scn_smoke(seed: int) -> LabelledSpecs:
+    """14-node micro-grid with short timers for CI and engine tests."""
+    return _policy_labels(smoke(seed))
 
 
 def scenario_names() -> Tuple[str, ...]:
     return tuple(SCENARIOS)
 
 
+def canonical_scenario_name(name: str) -> str:
+    """Resolve an E/A alias to its scenario name (identity otherwise)."""
+    return SCENARIO_ALIASES.get(name, name)
+
+
+def scenario_description(name: str) -> str:
+    """One-line description of ``name`` (or an E/A alias), from the
+    builder's docstring."""
+    return SCENARIOS[canonical_scenario_name(name)].description
+
+
 def scenario_trials(name: str, seed: int = 1) -> LabelledSpecs:
     """Expand scenario ``name`` (or an E/A alias) into labelled specs."""
-    canonical = SCENARIO_ALIASES.get(name, name)
+    canonical = canonical_scenario_name(name)
     if canonical not in SCENARIOS:
-        known = ", ".join(sorted(SCENARIOS) + sorted(SCENARIO_ALIASES))
-        raise ValueError(f"unknown scenario {name!r}; one of: {known}")
-    return SCENARIOS[canonical](seed)
+        raise ValueError(
+            f"unknown scenario {name!r}; "
+            "`python -m repro.experiments list` shows the registry"
+        )
+    return SCENARIOS[canonical].build(seed)

@@ -313,6 +313,49 @@ def indoor_testbed(
     return topo
 
 
+def near_square_grid(n: int, link_loss: float = 0.0) -> Topology:
+    """The most square ``rows × cols`` lattice with exactly ``n`` nodes.
+
+    Rows/cols are the divisor pair of ``n`` closest to a square (63 →
+    7×9); a prime ``n`` degenerates to the 1×n line, which is what a
+    prime-sized lattice is.
+    """
+    rows = 1
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            rows = d
+    return grid(rows, n // rows, link_loss=link_loss)
+
+
+def degrade(topo: Topology, extra_loss: float) -> Topology:
+    """``topo`` with every audible link suffering ``extra_loss`` more
+    independent per-frame loss: ``loss' = 1 - (1-loss)(1-extra_loss)``.
+
+    Out-of-range pairs stay out of range and every audible pair stays
+    audible (for ``extra_loss < 1``), so a connected topology remains
+    connected — its links just cost more transmissions. This is the
+    loss-sweep knob: one scalar degrades a whole generated topology
+    without re-rolling its geometry.
+    """
+    if not 0.0 <= extra_loss < 1.0:
+        raise ValueError(f"extra_loss must be in [0, 1), got {extra_loss}")
+    if extra_loss == 0.0:
+        return topo
+    loss = [
+        [
+            cell if cell >= OUT_OF_RANGE else 1.0 - (1.0 - cell) * (1.0 - extra_loss)
+            for cell in row
+        ]
+        for row in topo.loss
+    ]
+    return Topology(
+        n=topo.n,
+        loss=loss,
+        positions=topo.positions,
+        name=f"{topo.name}+loss{extra_loss:g}",
+    )
+
+
 def from_loss_matrix(loss: Sequence[Sequence[float]], name: str = "custom") -> Topology:
     """Build a topology from an explicit directed loss matrix."""
     n = len(loss)

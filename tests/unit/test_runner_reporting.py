@@ -60,12 +60,32 @@ class TestExperimentSpec:
 
     def test_build_topology_kinds(self):
         spec = ExperimentSpec(scoop=ScoopConfig(n_nodes=20, domain=ValueDomain(0, 100)))
-        assert build_topology(spec).n == 20
-        geo = dataclasses.replace(spec, topology_kind="geometric")
-        assert build_topology(geo).n == 20
-        bad = dataclasses.replace(spec, topology_kind="torus")
+        for kind in ("testbed", "geometric", "line", "grid"):
+            topo = build_topology(dataclasses.replace(spec, topology_kind=kind))
+            assert topo.n == 20
+        # Unknown kinds are rejected at spec construction, before any
+        # topology is built.
         with pytest.raises(ValueError):
-            build_topology(bad)
+            dataclasses.replace(spec, topology_kind="torus")
+
+    def test_link_loss_degrades_topology(self):
+        spec = ExperimentSpec(scoop=ScoopConfig(n_nodes=20, domain=ValueDomain(0, 100)))
+        lossy = dataclasses.replace(spec, link_loss=0.4)
+        base_topo, lossy_topo = build_topology(spec), build_topology(lossy)
+        pairs = [
+            (i, j)
+            for i in range(20)
+            for j in range(20)
+            if i != j and base_topo.audible(i, j)
+        ]
+        assert pairs
+        for i, j in pairs:
+            assert lossy_topo.audible(i, j)
+            assert lossy_topo.loss[i][j] == pytest.approx(
+                1.0 - (1.0 - base_topo.loss[i][j]) * 0.6
+            )
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, link_loss=1.0)
 
 
 class TestScenarios:

@@ -6,10 +6,12 @@ import pytest
 
 from repro.sim.topology import (
     Topology,
+    degrade,
     from_loss_matrix,
     grid,
     indoor_testbed,
     line,
+    near_square_grid,
     perfect,
     random_geometric,
 )
@@ -143,3 +145,68 @@ class TestValidationAndQueries:
     def test_link_etx_requires_both_directions(self):
         topo = from_loss_matrix([[1.0, 0.0], [1.0, 1.0]])  # one-way link
         assert math.isinf(topo.link_etx(0, 1))
+
+
+class TestNearSquareGrid:
+    def test_divisor_pair_closest_to_square(self):
+        topo = near_square_grid(63)  # 7 x 9
+        assert topo.n == 63
+        assert topo.name == "grid-7x9"
+
+    def test_prime_degenerates_to_line(self):
+        topo = near_square_grid(13)
+        assert topo.n == 13
+        assert topo.name == "grid-1x13"
+        assert topo.is_connected()
+
+    def test_square_and_loss(self):
+        topo = near_square_grid(16, link_loss=0.3)
+        assert topo.name == "grid-4x4"
+        assert topo.loss[0][1] == pytest.approx(0.3)
+
+
+class TestDegrade:
+    def test_compounds_loss_on_audible_links(self):
+        topo = degrade(line(4, link_loss=0.2), 0.5)
+        assert topo.loss[0][1] == pytest.approx(1.0 - 0.8 * 0.5)
+        # Out-of-range pairs stay out of range.
+        assert not topo.audible(0, 2)
+        assert topo.name.endswith("+loss0.5")
+
+    def test_zero_is_identity(self):
+        topo = line(4)
+        assert degrade(topo, 0.0) is topo
+
+    def test_preserves_connectivity(self):
+        topo = degrade(indoor_testbed(63, seed=8), 0.5)
+        assert topo.is_connected()
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            degrade(line(3), 1.0)
+        with pytest.raises(ValueError):
+            degrade(line(3), -0.1)
+
+
+class TestXLSizes:
+    """Generator invariants at the scaling_xl grid's sizes: connected,
+    correctly sized, basestation reachable both ways."""
+
+    @pytest.mark.parametrize("n", [128, 192, 256])
+    def test_testbed_connected_past_paper_scale(self, n):
+        topo = indoor_testbed(n, seed=8)
+        assert topo.n == n
+        assert topo.is_connected()
+
+    def test_geometric_connected_at_double_scale(self):
+        topo = random_geometric(128, seed=3)
+        assert topo.n == 128
+        assert topo.is_connected()
+        # The degree target still holds well past the paper's sizes.
+        assert 0.1 < topo.mean_degree_fraction() < 0.35
+
+    @pytest.mark.parametrize("builder", [line, near_square_grid])
+    def test_lattices_connected_at_256(self, builder):
+        topo = builder(256)
+        assert topo.n == 256
+        assert topo.is_connected()
