@@ -127,12 +127,36 @@ class Basestation(ScoopNode):
                 # keep using the old one.
                 self.remaps_suppressed += 1
                 return
+            self._count_reassignments(candidate, now)
             self._sid_counter += 1
             self.current_index = candidate
             self.index_history.append((now, candidate))
             self.disseminator.seed(self._sid_counter, candidate.to_chunks())
         finally:
             self._absorb_planner_stats(model)
+
+    def _count_reassignments(self, candidate: StorageIndex, now: float) -> None:
+        """Planner counters for the node-death recovery story (E14): how
+        many staleness-evicted nodes this remap saw, and how many domain
+        values moved off a presumed-dead owner onto a live one."""
+        stale = self.stats.stale_nodes(now)
+        if not stale:
+            return
+        self.planner_stats["stale_nodes_seen"] = self.planner_stats.get(
+            "stale_nodes_seen", 0
+        ) + len(stale)
+        if self.current_index is None:
+            return
+        reassigned = sum(
+            1
+            for v in self.config.domain
+            if set(self.current_index.owners_of(v)) & stale
+            and not set(candidate.owners_of(v)) & stale
+        )
+        if reassigned:
+            self.planner_stats["owners_reassigned"] = (
+                self.planner_stats.get("owners_reassigned", 0) + reassigned
+            )
 
     def _absorb_planner_stats(self, model: NetworkModel) -> None:
         """Fold one remap's cost-model counters into the trial totals."""

@@ -163,6 +163,13 @@ class ScoopConfig:
     recent_readings_size: int = 30
     #: Neighbors reported in a summary ("12, in our experiments").
     summary_neighbors: int = 12
+    #: Summary intervals of silence after which the basestation treats a
+    #: node as dead: stale nodes stop being index-owner candidates and
+    #: their ranges are reassigned at the next remap (the Section 6
+    #: recovery story for failed nodes). ~40% of summaries are lost in
+    #: the paper's testbed, so the default tolerates several consecutive
+    #: losses before declaring death; churn scenarios tighten it.
+    node_staleness_intervals: float = 6.0
     #: Descendants/neighbor list capacity ("32, in our experiments").
     max_descendants: int = 32
     max_neighbors: int = 32
@@ -249,6 +256,8 @@ class ScoopConfig:
             raise ValueError("batch_size must be >= 1")
         if self.n_bins < 1:
             raise ValueError("n_bins must be >= 1")
+        if self.node_staleness_intervals <= 0:
+            raise ValueError("node_staleness_intervals must be positive")
         lo, hi = self.query_width_frac
         if not (0 < lo <= hi <= 1):
             raise ValueError("query_width_frac must satisfy 0 < lo <= hi <= 1")

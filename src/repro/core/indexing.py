@@ -85,8 +85,11 @@ def _gather_inputs(
     now: float,
 ) -> _ProblemInputs:
     base = config.basestation_id
-    producers = stats.producer_nodes()
-    candidates = sorted(set(stats.known_nodes()) | {base})
+    # Staleness eviction (Section 6 recovery): nodes silent beyond the
+    # staleness window are neither producers nor owner candidates, so a
+    # dead owner's range is reassigned by the very next argmin.
+    producers = stats.producer_nodes(now)
+    candidates = sorted(set(stats.known_nodes(now)) | {base})
     production = stats.production_matrix(producers)
     rates = stats.rate_vector(producers)
     xmits_po = model.xmits_matrix(producers, candidates)
@@ -132,8 +135,8 @@ def evaluate_store_local_cost(
     tree: ``query_rate · (n_flood + Σ_p xmits(p -> base))``.
     """
     base = config.basestation_id
-    producers = stats.producer_nodes() or list(stats.known_nodes())
-    flood_cost = float(len(stats.known_nodes()))
+    producers = stats.producer_nodes(now) or list(stats.known_nodes(now))
+    flood_cost = float(len(stats.known_nodes(now)))
     reply_cost = 0.0
     for node in producers:
         xm = model.xmits(node, base)

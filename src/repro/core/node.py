@@ -112,6 +112,7 @@ class ScoopNode(Mote):
             jitter=0.1,
         )
         self.sampling = False
+        self._was_sampling = False
         self.readings_since_summary = 0
 
         # batching state (Section 5.4): one open batch per destination owner
@@ -152,6 +153,40 @@ class ScoopNode(Mote):
         self._sample_timer.stop()
         self._summary_timer.stop()
         self._flush_batch()
+
+    def on_fail(self) -> None:
+        """Node death: every timer stops and RAM-held work is lost — the
+        open batch dies unsent, gossip state evaporates. Flash survives
+        (its readings are simply unreachable while the node is dark)."""
+        self._was_sampling = self.sampling
+        self.sampling = False
+        self._sample_timer.stop()
+        self._summary_timer.stop()
+        if self._batch_deadline is not None:
+            self._batch_deadline.cancel()
+            self._batch_deadline = None
+        self._batch = []
+        self._batch_owner = None
+        self.recent = RecentReadings(self.config.recent_readings_size)
+        self.readings_since_summary = 0
+        self.disseminator.stop()
+        self._queries_heard.clear()
+        self._query_gossip.clear()
+
+    def on_revive(self) -> None:
+        """Cold reboot: the node has no storage index (it stores locally
+        until a complete one arrives over Trickle, Section 5.3) and
+        resumes sampling if it was sampling when it died — through
+        ``start_sampling``, so policy overrides (LOCAL/BASE start no
+        summary timer) keep their behaviour across a reboot."""
+        self.current_index = None
+        self.disseminator.reset()
+        # Boot again through the policy's own hook: SCOOP restarts Trickle
+        # dissemination, LOCAL/BASE (which override on_boot to skip it)
+        # stay mapping-silent after a reboot too.
+        self.on_boot()
+        if self._was_sampling:
+            self.start_sampling()
 
     # ------------------------------------------------------------------
     # Sampling and batching
@@ -516,6 +551,8 @@ class ScoopNode(Mote):
             state["heard_this_round"] += 1
 
     def _answer_query(self, query: QueryMessage) -> None:
+        if not self.booted:
+            return  # died between hearing the query and the reply stagger
         matches = self.flash.scan(
             time_range=query.time_range,
             value_range=query.value_range,

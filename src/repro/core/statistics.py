@@ -23,6 +23,7 @@ Section 5.2 of the paper describes what the basestation learns and keeps:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -99,8 +100,29 @@ class BasestationStatistics:
         self.link_quality: Dict[Tuple[int, int], float] = {}
         #: origin -> (parent, last observation time), from packet headers.
         self.parents: Dict[int, Tuple[int, float]] = {}
+        #: node -> last time any evidence of it being alive arrived (a
+        #: summary it originated, or a packet header naming it as origin
+        #: or as the forwarding origin's parent). Drives staleness-based
+        #: eviction: the indexing algorithm stops assigning ranges to
+        #: nodes silent for ``node_staleness_intervals`` summary
+        #: intervals (the paper's node-death recovery, Section 6).
+        self.last_heard: Dict[int, float] = {}
         self.queries = QueryStatistics(self.domain)
         self.summaries_lost_guess = 0
+
+    @property
+    def staleness_window(self) -> float:
+        """Seconds of silence after which a node is presumed dead."""
+        return self.config.node_staleness_intervals * self.config.summary_interval
+
+    def _fresh(self, node: int, now: Optional[float]) -> bool:
+        """Whether ``node`` counts as alive at ``now`` (always, if ``now``
+        is None — the unfiltered historical view)."""
+        if now is None:
+            return True
+        if node == self.config.basestation_id:
+            return True
+        return self.last_heard.get(node, -math.inf) >= now - self.staleness_window
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -130,6 +152,7 @@ class BasestationStatistics:
             )
         record.last_summary = summary
         record.last_summary_time = now
+        self.last_heard[summary.origin] = now
         record.summaries_received += 1
         record.sid_history.append((now, summary.last_sid))
         self.summary_history.append((now, summary))
@@ -137,13 +160,23 @@ class BasestationStatistics:
         # delivery estimates for links (neighbor -> origin).
         for neighbor, quality in summary.neighbors:
             self.link_quality[(neighbor, summary.origin)] = quality
+            # A node first known only by hearsay gets a full staleness
+            # window of candidacy from its first sighting; hearsay never
+            # *refreshes* an already-heard node, though — neighbor tables
+            # can keep reporting a dead node for a while, and direct
+            # silence is what must drive its eviction.
+            self.last_heard.setdefault(neighbor, now)
 
     def observe_packet_header(
         self, origin: int, origin_parent: Optional[int], now: float
     ) -> None:
         """Every packet reaching the root reveals (origin, origin's parent)."""
+        self.last_heard[origin] = now
         if origin_parent is not None and origin_parent != origin:
             self.parents[origin] = (origin_parent, now)
+            self.last_heard[origin_parent] = max(
+                self.last_heard.get(origin_parent, -math.inf), now
+            )
 
     def record_query(self, value_range: Optional[Tuple[int, int]], now: float) -> None:
         self.queries.record(value_range, now)
@@ -151,8 +184,14 @@ class BasestationStatistics:
     # ------------------------------------------------------------------
     # Views for the indexing algorithm
     # ------------------------------------------------------------------
-    def known_nodes(self) -> List[int]:
-        """Nodes the basestation has evidence about (plus itself)."""
+    def known_nodes(self, now: Optional[float] = None) -> List[int]:
+        """Nodes the basestation has evidence about (plus itself).
+
+        With ``now``, nodes silent for longer than the staleness window
+        are evicted from the view: the indexing algorithm must not assign
+        ranges to nodes that may be dead. Without it, the full historical
+        set (used for query planning — "the basestation never discards
+        any summary message")."""
         nodes: Set[int] = {self.config.basestation_id}
         nodes.update(self.records.keys())
         for child, (parent, _when) in self.parents.items():
@@ -161,16 +200,26 @@ class BasestationStatistics:
         for a, b in self.link_quality:
             nodes.add(a)
             nodes.add(b)
-        return sorted(nodes)
+        return sorted(node for node in nodes if self._fresh(node, now))
 
-    def producer_nodes(self) -> List[int]:
-        """Nodes with a usable histogram (the p's of the algorithm)."""
+    def producer_nodes(self, now: Optional[float] = None) -> List[int]:
+        """Nodes with a usable histogram (the p's of the algorithm).
+
+        With ``now``, staleness-evicted nodes are excluded (see
+        :meth:`known_nodes`)."""
         return sorted(
             node
             for node, record in self.records.items()
             if record.last_summary is not None
             and record.last_summary.histogram is not None
+            and self._fresh(node, now)
         )
+
+    def stale_nodes(self, now: float) -> Set[int]:
+        """Nodes the basestation actually heard from at some point but
+        not within the staleness window — presumed dead; their ranges get
+        reassigned at the next remap."""
+        return {node for node in self.last_heard if not self._fresh(node, now)}
 
     def production_matrix(self, producers: Sequence[int]) -> np.ndarray:
         """Rows of P(p -> v) over the whole domain, one per producer."""

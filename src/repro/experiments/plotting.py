@@ -10,6 +10,11 @@ campaign is free. Two chart kinds cover the paper's figures:
   ``qi=15/scoop/real`` — one line per policy over the swept x value,
   markers with 95%-CI error bars.
 
+Sweep campaigns whose trials carry data-survival metrics (the E14 churn
+grid) additionally get a **completeness** series chart: retrieval
+completeness vs the swept parameter, aggregated across seeds from the
+per-trial survival breakdowns.
+
 The renderer is pure Python emitting SVG text, so it works everywhere
 the simulator does. PNG output rasterizes the SVG through ``cairosvg``
 when that optional dependency is installed; without it, ``plot`` still
@@ -34,6 +39,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 from xml.sax.saxutils import escape
 
+from repro.experiments.campaign import sample_stats
 from repro.experiments.reporting import CATEGORIES
 
 # ----------------------------------------------------------------------
@@ -319,6 +325,7 @@ def breakdown_svg(doc: Dict[str, object]) -> str:
 
 def parse_series(
     doc: Dict[str, object],
+    labels: Optional[List[Dict[str, object]]] = None,
 ) -> Optional[
     Tuple[str, Dict[str, List[Tuple[float, float, float]]], Dict[float, str]]
 ]:
@@ -332,8 +339,12 @@ def parse_series(
     indices back to the raw values for the axis (empty for numeric
     sweeps). Returns ``None`` when the labels don't form a sweep (e.g.
     ``fig3_middle``), in which case only the breakdown chart applies.
+    ``labels`` overrides the document's aggregates (used to chart a
+    different statistic, e.g. retrieval completeness, over the same
+    sweep structure).
     """
-    labels: List[Dict[str, object]] = list(doc.get("labels") or [])
+    if labels is None:
+        labels = list(doc.get("labels") or [])
     series: Dict[str, List[Tuple[float, float, float]]] = {}
     param: Optional[str] = None
     cat_index: Dict[str, int] = {}
@@ -362,10 +373,16 @@ def parse_series(
     return param, series, x_names
 
 
-def series_svg(doc: Dict[str, object]) -> str:
-    """Figure-4/5-style chart: total messages vs the swept parameter,
-    one line per policy with markers and 95%-CI whiskers."""
-    parsed = parse_series(doc)
+def series_svg(
+    doc: Dict[str, object],
+    labels: Optional[List[Dict[str, object]]] = None,
+    metric: str = "total messages",
+) -> str:
+    """Figure-4/5-style chart: ``metric`` vs the swept parameter, one
+    line per policy with markers and 95%-CI whiskers. By default the
+    campaign's total-message aggregates are charted; ``labels``
+    substitutes another per-label statistic in the same shape."""
+    parsed = parse_series(doc, labels=labels)
     if parsed is None:
         raise ValueError(
             f"export {doc.get('name')!r} is not a sweep campaign "
@@ -393,7 +410,7 @@ def series_svg(doc: Dict[str, object]) -> str:
     svg.text(
         margin_l,
         24,
-        f"Campaign {doc.get('name', '?')} — total messages vs {param}",
+        f"Campaign {doc.get('name', '?')} — {metric} vs {param}",
         size=14,
         weight="bold",
     )
@@ -461,6 +478,54 @@ def series_svg(doc: Dict[str, object]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Chart 3 — retrieval completeness under churn (E14)
+# ----------------------------------------------------------------------
+
+
+def completeness_labels(
+    doc: Dict[str, object],
+) -> Optional[List[Dict[str, object]]]:
+    """Per-label aggregates of retrieval completeness, computed from the
+    export's per-trial survival breakdowns (mean and 95% CI across
+    seeds, same shape as the document's ``labels`` entries). ``None``
+    when no simulated trial carries survival data — exports written
+    before the churn pipeline, or all-analytical campaigns."""
+    by_label: Dict[str, List[float]] = {}
+    for trial in doc.get("trials") or []:
+        metrics = (trial.get("result") or {}).get("metrics") or {}
+        survival = metrics.get("survival") or {}
+        if "completeness" in survival:
+            by_label.setdefault(str(trial.get("label")), []).append(
+                float(survival["completeness"])
+            )
+    if not by_label:
+        return None
+    # Keep the document's label order so series charts stay comparable.
+    ordered = [
+        str(entry.get("label"))
+        for entry in doc.get("labels") or []
+        if str(entry.get("label")) in by_label
+    ] or sorted(by_label)
+    out: List[Dict[str, object]] = []
+    for label in ordered:
+        mean, _sd, ci95 = sample_stats(by_label[label])
+        out.append({"label": label, "total": {"mean": mean, "ci95": ci95}})
+    return out
+
+
+def completeness_series_svg(doc: Dict[str, object]) -> str:
+    """The E14 headline chart: retrieval completeness vs the swept
+    parameter (churn rate), one line per policy."""
+    labels = completeness_labels(doc)
+    if labels is None:
+        raise ValueError(
+            f"export {doc.get('name')!r} carries no survival metrics "
+            "(no simulated trial has a completeness breakdown)"
+        )
+    return series_svg(doc, labels=labels, metric="retrieval completeness")
+
+
+# ----------------------------------------------------------------------
 # Drivers: export document → image files
 # ----------------------------------------------------------------------
 
@@ -490,7 +555,9 @@ def plot_campaign(
     """Render every chart that applies to ``doc``; returns files written.
 
     Always renders the Figure-3 breakdown chart; sweep campaigns (labels
-    like ``n=64/scoop``) additionally get the Figure-4/5 series chart.
+    like ``n=64/scoop``) additionally get the Figure-4/5 series chart,
+    plus the retrieval-completeness series when the trials carry
+    survival metrics (E14).
     ``formats`` may include ``svg`` and ``png`` (PNG requires the
     optional ``cairosvg``; unavailable formats raise ``RuntimeError``).
     """
@@ -510,6 +577,10 @@ def plot_campaign(
     charts: List[Tuple[str, str]] = [("breakdown", breakdown_svg(doc))]
     if parse_series(doc) is not None:
         charts.append(("series", series_svg(doc)))
+        completeness = completeness_labels(doc)
+        if completeness is not None and parse_series(doc, completeness) is not None:
+            chart = series_svg(doc, completeness, "retrieval completeness")
+            charts.append(("completeness", chart))
     written: List[Path] = []
     for kind, svg_text in charts:
         if "svg" in formats:

@@ -31,6 +31,7 @@ from repro.core.node import ScoopNode
 from repro.core.query import QueryResult
 from repro.experiments.registry import is_registered, known_policies, policy_factory
 from repro.experiments.salt import cache_salt
+from repro.sim.failure import FailureInjector, FailureSchedule
 from repro.sim.metrics import TrialMetrics
 from repro.sim.network import Network
 from repro.sim.topology import (
@@ -56,8 +57,10 @@ TOPOLOGY_KINDS = ("testbed", "geometric", "line", "grid")
 #: Bumped whenever spec/result serialization changes shape, so stale
 #: entries in the persistent result cache miss instead of deserializing
 #: garbage. v2: results carry a structured :class:`TrialMetrics` record
-#: and keys are salted with the source-tree hash (:mod:`.salt`).
-SPEC_SCHEMA_VERSION = 2
+#: and keys are salted with the source-tree hash (:mod:`.salt`). v3:
+#: specs grew churn fields (E14), metrics grew the data-survival
+#: breakdown, results grew ``retrieval_completeness``.
+SPEC_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -79,6 +82,19 @@ class ExperimentSpec:
     #: :func:`repro.sim.topology.degrade`). 0 = the generator's native
     #: loss regime — which is 0 for the lossless line/grid lattices.
     link_loss: float = 0.0
+    #: Node churn (E14): fraction of the sensor population killed at
+    #: seeded random times during the measured phase
+    #: (:class:`repro.sim.failure.FailureSchedule`). 0 = no failure
+    #: injection.
+    churn_rate: float = 0.0
+    #: Of the killed nodes, the fraction that cold-reboot after
+    #: ``churn_downtime_frac`` of the measured duration (flash intact,
+    #: RAM state lost).
+    churn_revive_frac: float = 0.0
+    #: Downtime of reviving nodes, as a fraction of the measured
+    #: duration — relative, so time-scaled runs keep the same churn
+    #: dynamics.
+    churn_downtime_frac: float = 0.25
 
     def __post_init__(self) -> None:
         if not is_registered(self.policy):
@@ -96,6 +112,17 @@ class ExperimentSpec:
             )
         if not 0.0 <= self.link_loss < 1.0:
             raise ValueError(f"link_loss must be in [0, 1), got {self.link_loss}")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError(f"churn_rate must be in [0, 1], got {self.churn_rate}")
+        if not 0.0 <= self.churn_revive_frac <= 1.0:
+            raise ValueError(
+                f"churn_revive_frac must be in [0, 1], got {self.churn_revive_frac}"
+            )
+        if not 0.0 < self.churn_downtime_frac <= 1.0:
+            raise ValueError(
+                f"churn_downtime_frac must be in (0, 1], got "
+                f"{self.churn_downtime_frac}"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping; inverse of :meth:`from_dict`.
@@ -154,6 +181,10 @@ class ExperimentResult:
     storage_success_rate: float = 0.0
     owner_hit_rate: float = 0.0
     query_reply_rate: float = 0.0
+    #: E14 statistic: fraction of produced readings still retrievable at
+    #: the end of the trial (readings orphaned on dead nodes' flash are
+    #: not). Equals storage_success_rate when nothing fails.
+    retrieval_completeness: float = 0.0
     #: E7 statistics (root = node 0).
     root_sent: int = 0
     root_received: int = 0
@@ -240,6 +271,38 @@ def build_topology(spec: ExperimentSpec) -> Topology:
     return degrade(topo, spec.link_loss)
 
 
+#: Kill times land in this fraction of the measured phase (after
+#: stabilization): late enough that the network is doing real work, early
+#: enough that staleness eviction and the next remap happen in-run.
+CHURN_KILL_WINDOW = (0.10, 0.50)
+
+
+def build_failure_schedule(spec: ExperimentSpec) -> Optional[FailureSchedule]:
+    """The trial's churn schedule, or None when the spec injects none.
+
+    Derived from the spec alone (the schedule RNG is seeded by
+    ``spec.seed`` and never touches the simulation RNG), so it is
+    identical in serial and pooled execution and cache keys stay honest.
+    The window scales with the configured durations, so time-scaled runs
+    keep the paper-relative churn dynamics.
+    """
+    if spec.churn_rate <= 0.0:
+        return None
+    config = spec.scoop
+    lo, hi = CHURN_KILL_WINDOW
+    return FailureSchedule.from_rate(
+        rate=spec.churn_rate,
+        nodes=list(config.sensor_ids),
+        window=(
+            config.stabilization + lo * config.duration,
+            config.stabilization + hi * config.duration,
+        ),
+        seed=spec.seed,
+        revive_frac=spec.churn_revive_frac,
+        downtime=spec.churn_downtime_frac * config.duration,
+    )
+
+
 def build_motes(
     spec: ExperimentSpec, net: Network, workload: Workload
 ) -> Tuple[Basestation, List[ScoopNode]]:
@@ -279,6 +342,12 @@ def run_experiment(
     )
     base, nodes = build_motes(spec, net, workload)
 
+    # Failure injection (E14): arm the churn schedule before anything
+    # runs; kills/revives then fire on the simulation clock mid-workload.
+    schedule = build_failure_schedule(spec)
+    if schedule is not None:
+        FailureInjector(net, schedule).arm()
+
     # Phase 1: boot and stabilize the routing tree (paper: 10 minutes of
     # heartbeats before sampling starts).
     net.boot_all(within=config.beacon_interval)
@@ -312,7 +381,8 @@ def run_experiment(
 
     # Phase 3: drain — flush batches, let in-flight frames land.
     for node in nodes:
-        node.stop_sampling()
+        if node.booted:  # dead nodes have nothing to stop or flush
+            node.stop_sampling()
     net.run(net.sim.now + config.query_reply_window + 5.0)
 
     return _collect(
@@ -338,6 +408,7 @@ def _collect(
         planner=getattr(base, "planner_stats", None),
         sim_time_s=net.sim.now,
         wall_clock_s=wall_clock_s,
+        tracker=tracker,
     )
     return ExperimentResult(
         spec=spec,
@@ -346,6 +417,7 @@ def _collect(
         storage_success_rate=tracker.storage_success_rate(),
         owner_hit_rate=tracker.owner_hit_rate(),
         query_reply_rate=tracker.query_reply_rate(),
+        retrieval_completeness=tracker.retrieval_completeness(net.sim.now),
         root_sent=census.node_sent(root),
         root_received=census.node_received(root),
         mean_node_energy_j=net.energy.mean_node_j(exclude=(root,)),

@@ -8,9 +8,10 @@ that regenerate the corresponding figure, at a time scale controlled by the
 shrinks only the duration — all rates stay at the paper's values — so the
 policy *ratios* the figures compare are preserved.
 
-The experiment ids (E1..E9, E11..E13, A1, A2) are indexed in DESIGN.md;
-E11..E13 go past the paper (topology profiles, a link-loss sweep, and
-64..256-node scaling under a widened query bitmap).
+The experiment ids (E1..E9, E11..E14, A1, A2) are indexed in DESIGN.md;
+E11..E14 go past the paper (topology profiles, a link-loss sweep,
+64..256-node scaling under a widened query bitmap, and node churn with
+failure injection).
 """
 
 from __future__ import annotations
@@ -293,6 +294,45 @@ def loss_sweep(
     return out
 
 
+#: E14 protocol timing: summaries/remaps run faster than the paper's
+#: defaults and staleness is declared after two silent summary intervals,
+#: so a node death is detected, evicted, and its range reassigned well
+#: within even a down-scaled measured phase. Identical across the sweep —
+#: trials differ only in churn rate.
+CHURN_TIMING = dict(
+    summary_interval=60.0,
+    remap_interval=120.0,
+    node_staleness_intervals=2.0,
+)
+
+
+def node_churn(
+    seed: int = 1, rates: Sequence[float] = (0.0, 0.15, 0.3, 0.45)
+) -> List[Tuple[float, List[ExperimentSpec]]]:
+    """SCOOP vs LOCAL while 0..45% of the sensors die mid-run.
+
+    Failure injection (:mod:`repro.sim.failure`) silences each victim's
+    radio and orphans its flash at a seeded random time; the basestation's
+    staleness eviction reassigns dead owners' ranges at the next remap.
+    The retrieval-completeness series is the scenario's headline metric.
+    """
+    out = []
+    for rate in rates:
+        pair = [
+            _spec(
+                policy,
+                "real",
+                REAL_DOMAIN,
+                seed,
+                churn_rate=rate,
+                **CHURN_TIMING,
+            )
+            for policy in ("scoop", "local")
+        ]
+        out.append((rate, pair))
+    return out
+
+
 def scaling_xl(
     seed: int = 1, sizes: Sequence[int] = (64, 128, 192, 256)
 ) -> List[Tuple[int, List[ExperimentSpec]]]:
@@ -487,6 +527,16 @@ def _scn_loss_sweep(seed: int) -> LabelledSpecs:
 def _scn_scaling_xl(seed: int) -> LabelledSpecs:
     """SCOOP vs LOCAL at 64..256 nodes with the widened 32-byte bitmap."""
     return [(f"n={n}/{s.policy}", s) for n, specs in scaling_xl(seed) for s in specs]
+
+
+@register_scenario("node_churn", alias="E14")
+def _scn_node_churn(seed: int) -> LabelledSpecs:
+    """SCOOP vs LOCAL under 0..45% node failures; staleness-evicting remaps."""
+    return [
+        (f"churn={rate:g}/{s.policy}", s)
+        for rate, specs in node_churn(seed)
+        for s in specs
+    ]
 
 
 @register_scenario("smoke")

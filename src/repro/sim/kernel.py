@@ -198,12 +198,20 @@ class Timer:
 
     def start(self, delay: Optional[float] = None) -> None:
         """(Re)start the timer; ``delay`` overrides the configured interval
-        for the first firing only."""
+        for the first firing only.
+
+        An explicit ``delay`` fires exactly when asked: callers that pass
+        one are deliberately staggering startup themselves, so jitter
+        applies only to interval-derived delays.
+        """
         self.stop()
-        first = delay if delay is not None else self._interval
-        if first is None:
+        if delay is not None:
+            first = delay
+        elif self._interval is not None:
+            first = self._next_delay(self._interval)
+        else:
             raise SimulationError("timer started without a delay or interval")
-        self._handle = self._sim.schedule(max(0.0, self._next_delay(first)), self._fire)
+        self._handle = self._sim.schedule(max(0.0, first), self._fire)
 
     def stop(self) -> None:
         if self._handle is not None:

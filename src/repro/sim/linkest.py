@@ -80,6 +80,10 @@ class LinkEstimator:
         worst = min(self._table, key=lambda nbr: self._table[nbr].quality())
         del self._table[worst]
 
+    def reset(self) -> None:
+        """Forget every neighbor (a cold reboot loses the RAM table)."""
+        self._table.clear()
+
     def expire(self, now: float) -> None:
         """Drop neighbors not heard within the silence timeout."""
         stale = [

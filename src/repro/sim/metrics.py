@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.sim.packets import COST_KINDS, Frame, FrameKind
 
@@ -144,6 +144,11 @@ class TrialMetrics:
     #: Basestation planner counters (cost-model builds, Dijkstra runs,
     #: point queries) — the index-construction side of the cost story.
     planner: Dict[str, int] = field(default_factory=dict)
+    #: Data-survival breakdown under node churn (E14): produced/stored
+    #: reading counts, how many ended up on nodes that later died
+    #: (orphaned flash), how many remain retrievable, and the
+    #: retrieval-completeness ratio. Empty when the trial had no tracker.
+    survival: Dict[str, float] = field(default_factory=dict)
     #: Simulated seconds this trial covered (stabilization + measured +
     #: drain).
     sim_time_s: float = 0.0
@@ -162,6 +167,7 @@ class TrialMetrics:
             "node_load": dict(self.node_load),
             "load_skew": self.load_skew,
             "planner": dict(self.planner),
+            "survival": dict(self.survival),
             "sim_time_s": self.sim_time_s,
             "wall_clock_s": self.wall_clock_s,
         }
@@ -183,11 +189,14 @@ class TrialMetrics:
         planner: Optional[Dict[str, int]] = None,
         sim_time_s: float = 0.0,
         wall_clock_s: float = 0.0,
+        tracker: Optional["DeliveryTracker"] = None,
     ) -> "TrialMetrics":
         """Fold one trial's accounting objects into a metrics record.
 
         ``energy`` is the network's :class:`~repro.sim.energy.EnergyMeter`
         (typed loosely to keep this module free of an energy import cycle).
+        ``tracker`` supplies the data-survival breakdown, evaluated at the
+        end of the trial (``sim_time_s``).
         """
         root_e = energy.node_energy(root)
         return cls(
@@ -213,6 +222,9 @@ class TrialMetrics:
             node_load={str(n): load for n, load in census.node_loads().items()},
             load_skew=census.skew(),
             planner=dict(planner or {}),
+            survival=(
+                tracker.survival_breakdown(sim_time_s) if tracker is not None else {}
+            ),
             sim_time_s=sim_time_s,
             wall_clock_s=wall_clock_s,
         )
@@ -258,6 +270,30 @@ class DeliveryTracker:
         self.readings: List[ReadingOutcome] = []
         self._open: Dict[Tuple[int, int, float], ReadingOutcome] = {}
         self.queries: Dict[int, QueryOutcome] = {}
+        #: closed downtime intervals per node: (failed_at, revived_at).
+        self._downtime: Dict[int, List[Tuple[float, float]]] = {}
+        #: nodes currently dead -> time of death.
+        self._down_since: Dict[int, float] = {}
+
+    # -- node lifecycle (failure injection) ------------------------------
+    def node_failed(self, node: int, time: float) -> None:
+        self._down_since.setdefault(node, time)
+
+    def node_revived(self, node: int, time: float) -> None:
+        started = self._down_since.pop(node, None)
+        if started is not None:
+            self._downtime.setdefault(node, []).append((started, time))
+
+    def node_down(self, node: int, time: float) -> bool:
+        """True when ``node`` is dark at ``time`` — its flash contents are
+        orphaned (unreachable) for exactly these intervals."""
+        since = self._down_since.get(node)
+        if since is not None and time >= since:
+            return True
+        return any(lo <= time < hi for lo, hi in self._downtime.get(node, ()))
+
+    def nodes_ever_failed(self) -> Set[int]:
+        return set(self._down_since) | set(self._downtime)
 
     # -- readings --------------------------------------------------------
     def reading_produced(
@@ -296,6 +332,42 @@ class DeliveryTracker:
         if not relevant:
             return 0.0
         return sum(1 for r in relevant if r.stored_at_owner) / len(relevant)
+
+    # -- data survival under churn ---------------------------------------
+    def reading_retrievable(self, outcome: ReadingOutcome, time: float) -> bool:
+        """A reading is retrievable at ``time`` iff it was stored and its
+        storage node is not dark then. A killed node's flash contents are
+        orphaned for as long as it stays down; they come back only if the
+        node revives (flash is non-volatile)."""
+        return outcome.stored and not self.node_down(outcome.stored_at, time)
+
+    def retrieval_completeness(self, time: float) -> float:
+        """Fraction of produced readings retrievable at ``time``."""
+        if not self.readings:
+            return 0.0
+        retrievable = sum(1 for r in self.readings if self.reading_retrievable(r, time))
+        return retrievable / len(self.readings)
+
+    def survival_breakdown(self, time: float) -> Dict[str, float]:
+        """The E14 data-survival record: what was produced, what got
+        stored, what sits orphaned on dead flash, what a query issued at
+        ``time`` could still reach."""
+        produced = len(self.readings)
+        stored = sum(1 for r in self.readings if r.stored)
+        retrievable = sum(
+            1 for r in self.readings if self.reading_retrievable(r, time)
+        )
+        return {
+            "readings_produced": float(produced),
+            "readings_stored": float(stored),
+            "stored_on_dead_node": float(stored - retrievable),
+            "retrievable": float(retrievable),
+            "completeness": retrievable / produced if produced else 0.0,
+            "nodes_failed": float(len(self.nodes_ever_failed())),
+            "nodes_down_at_end": float(
+                sum(1 for n in self.nodes_ever_failed() if self.node_down(n, time))
+            ),
+        }
 
     # -- queries ---------------------------------------------------------
     def query_issued(

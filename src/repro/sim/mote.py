@@ -68,6 +68,7 @@ class Mote:
         # at every hop. Keyed by frame identity, bounded LRU.
         self._seen_frames: "OrderedDict[int, None]" = OrderedDict()
         self._seen_frames_cap = 128
+        self._boot_handle: Optional[object] = None
         radio.register(self)
 
     # ------------------------------------------------------------------
@@ -75,9 +76,10 @@ class Mote:
     # ------------------------------------------------------------------
     def boot(self, delay: float = 0.0) -> None:
         """Start the node ``delay`` seconds from now."""
-        self.sim.schedule(delay, self._boot_now)
+        self._boot_handle = self.sim.schedule(delay, self._boot_now)
 
     def _boot_now(self) -> None:
+        self._boot_handle = None
         if self.booted:
             return
         self.booted = True
@@ -88,6 +90,42 @@ class Mote:
 
     def on_boot(self) -> None:
         """Subclass hook: called once when the node starts."""
+
+    def fail(self) -> None:
+        """Node death (failure injection): the CPU halts and the radio goes
+        dark. The mote stops beaconing and ignores every frame; its flash
+        chip keeps whatever it stored (flash is non-volatile)."""
+        if self._boot_handle is not None:
+            # Killed during the boot stagger: the pending boot must not
+            # resurrect a dead node.
+            self._boot_handle.cancel()
+            self._boot_handle = None
+        if not self.booted:
+            return
+        self.booted = False
+        self._beacon_timer.stop()
+        self.on_fail()
+
+    def revive(self) -> None:
+        """Cold reboot after a failure: volatile protocol state (routing
+        tree, link estimates, dedup window) is gone, flash contents
+        survive, and the node rejoins the network like a fresh boot."""
+        if self.booted:
+            return
+        self.linkest.reset()
+        self.tree.reset()
+        self._seen_frames.clear()
+        self.booted = True
+        self._beacon_timer.start(
+            delay=self.sim.rng.uniform(0.1, self.tree.beacon_interval)
+        )
+        self.on_revive()
+
+    def on_fail(self) -> None:
+        """Subclass hook: called when the node is killed."""
+
+    def on_revive(self) -> None:
+        """Subclass hook: called after a cold reboot."""
 
     # ------------------------------------------------------------------
     # Sending

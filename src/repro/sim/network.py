@@ -69,6 +69,23 @@ class Network:
         for mote in self.motes.values():
             mote.boot(delay=self.sim.rng.uniform(0.0, within))
 
+    def fail_node(self, node_id: int) -> None:
+        """Kill a mote: radio dark, CPU halted, flash orphaned. The rest
+        of the network reacts organically (silence timeouts, tree repair);
+        nothing is reset on its behalf."""
+        mote = self.motes[node_id]
+        if mote.is_root:
+            raise ValueError("cannot kill the basestation (node 0)")
+        self.radio.fail_node(node_id)
+        mote.fail()
+        self.tracker.node_failed(node_id, self.sim.now)
+
+    def revive_node(self, node_id: int) -> None:
+        """Cold-reboot a previously killed mote (flash contents intact)."""
+        self.radio.revive_node(node_id)
+        self.motes[node_id].revive()
+        self.tracker.node_revived(node_id, self.sim.now)
+
     def run(self, until: float) -> None:
         self.sim.run(until)
 

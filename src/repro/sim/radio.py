@@ -28,7 +28,7 @@ protocol layer can forget to pay for a transmission.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Set
 
 from repro.sim.kernel import Simulator
 from repro.sim.packets import BROADCAST, Frame, FrameKind
@@ -121,6 +121,10 @@ class Radio:
         self._queues: Dict[int, List[dict]] = {}
         self._busy_sending: Dict[int, bool] = {}
         self._pending_acks: Dict[int, _PendingUnicast] = {}
+        #: nodes whose radio is powered off (failure injection): they
+        #: neither transmit, receive, ACK, nor run send-completion
+        #: callbacks until revived.
+        self._failed: Set[int] = set()
         #: census/energy hooks: (sender, frame) per attempt; (src, dst, frame)
         #: per successful delivery
         self._on_transmit = on_transmit
@@ -138,6 +142,25 @@ class Radio:
         self._listeners[node] = listener
         self._queues[node] = []
         self._busy_sending[node] = False
+
+    # ------------------------------------------------------------------
+    # Failure injection (node power state)
+    # ------------------------------------------------------------------
+    def is_failed(self, node: int) -> bool:
+        return node in self._failed
+
+    def fail_node(self, node: int) -> None:
+        """Power the node's radio off: its send queue is lost, pending
+        attempts go silent, and it stops hearing the channel."""
+        if node not in self._queues:
+            raise ValueError(f"node {node} is not registered with the radio")
+        self._failed.add(node)
+        self._queues[node].clear()
+        self._busy_sending[node] = False
+
+    def revive_node(self, node: int) -> None:
+        """Power the node's radio back on (with an empty send queue)."""
+        self._failed.discard(node)
 
     def broadcast(self, frame: Frame) -> None:
         """Queue an unacknowledged broadcast frame."""
@@ -166,6 +189,8 @@ class Radio:
     def _enqueue(self, node: int, entry: dict) -> None:
         if node not in self._queues:
             raise ValueError(f"node {node} is not registered with the radio")
+        if node in self._failed:
+            return  # dead radio: the frame silently never leaves the node
         entry.setdefault("csma_attempts", 0)
         entry.setdefault("retry_no", 0)
         self._queues[node].append(entry)
@@ -197,6 +222,8 @@ class Radio:
         return busy
 
     def _try_send(self, node: int, entry: dict) -> None:
+        if node in self._failed:
+            return  # the node died while this attempt was scheduled
         busy_until = self._channel_busy_until(node)
         cfg = self.config
         if busy_until > self.sim.now and entry["csma_attempts"] < cfg.max_csma_attempts:
@@ -238,6 +265,9 @@ class Radio:
         for receiver in self.topology.neighbors(tx.src):
             if receiver == tx.src or receiver not in self._listeners:
                 continue
+            if receiver in self._failed:
+                continue  # dead radios hear nothing
+
             if not self._reception_succeeds(tx, receiver, overlapping):
                 continue
             self.stats.frames_delivered += 1
@@ -258,6 +288,9 @@ class Radio:
 
         if frame.kind is FrameKind.ACK:
             return  # ACK frames are fire-and-forget and bypass the queues
+
+        if tx.src in self._failed:
+            return  # sender died mid-air: nobody is waiting on this entry
 
         if frame.dst == BROADCAST:
             self._complete_entry(tx.src, entry, success=True)
@@ -349,6 +382,8 @@ class Radio:
         self._retry_or_fail(sender, entry)
 
     def _retry_or_fail(self, sender: int, entry: dict) -> None:
+        if sender in self._failed:
+            return  # a dead node retries nothing and runs no callbacks
         entry["tries"] -= 1
         if entry["tries"] > 0:
             entry["csma_attempts"] = 0

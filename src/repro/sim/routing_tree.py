@@ -158,6 +158,15 @@ class RoutingTree:
             current_cost = best_cost
         self.path_etx = current_cost
 
+    def reset(self) -> None:
+        """Forget all routing state (a cold reboot loses RAM; the node
+        rejoins the tree from beacons like a freshly booted mote)."""
+        self.parent = None
+        self.path_etx = 0.0 if self.is_root else math.inf
+        self._candidates.clear()
+        self._descendants.clear()
+        self.neighbor_parents.clear()
+
     @property
     def joined(self) -> bool:
         """True once the node has a route to the basestation."""

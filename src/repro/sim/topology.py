@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,9 @@ class Topology:
     def __post_init__(self) -> None:
         if len(self.loss) != self.n or any(len(row) != self.n for row in self.loss):
             raise ValueError("loss matrix must be n x n")
+        # Copy the rows defensively: the diagonal write below must never
+        # corrupt a matrix the caller still owns.
+        self.loss = [list(row) for row in self.loss]
         for i in range(self.n):
             self.loss[i][i] = OUT_OF_RANGE  # no self-links
 
@@ -276,6 +280,7 @@ def indoor_testbed(
     n: int = 63,
     seed: int = 7,
     loss_range: Tuple[float, float] = (0.25, 0.90),
+    asymmetry: float = 0.10,
 ) -> Topology:
     """A testbed-like topology: nodes clustered in 'rooms' along a floor.
 
@@ -302,14 +307,30 @@ def indoor_testbed(
     for i in range(n):
         for j in range(i + 1, n):
             dist = math.dist(positions[i], positions[j])
-            fwd, rev = _distance_loss(dist, radio_range, rng, loss_range, 0.10)
+            fwd, rev = _distance_loss(dist, radio_range, rng, loss_range, asymmetry)
             loss[i][j] = fwd
             loss[j][i] = rev
     topo = Topology(n=n, loss=loss, positions=positions, name=f"testbed-{n}-seed{seed}")
     if not topo.is_connected():
         # Fall back to a connected random-geometric instance with the same
-        # statistical profile rather than failing a benchmark run.
-        return random_geometric(n, seed=seed, loss_range=loss_range)
+        # statistical profile rather than failing a benchmark run — loudly,
+        # and under a name that says what actually ran, so a trial labelled
+        # "testbed" can never silently export metrics for a geo-* layout.
+        warnings.warn(
+            f"indoor_testbed(n={n}, seed={seed}) generated a disconnected "
+            "testbed; falling back to a random-geometric layout",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        fallback = random_geometric(
+            n, seed=seed, loss_range=loss_range, asymmetry=asymmetry
+        )
+        return Topology(
+            n=fallback.n,
+            loss=fallback.loss,
+            positions=fallback.positions,
+            name=f"testbed-fallback-{fallback.name}",
+        )
     return topo
 
 

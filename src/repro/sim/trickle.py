@@ -182,6 +182,19 @@ class ChunkDisseminator(Generic[C]):
 
     def stop(self) -> None:
         self.trickle.stop()
+        if self._response_handle is not None:
+            self._response_handle.cancel()
+            self._response_handle = None
+        self._response_pending.clear()
+
+    def reset(self) -> None:
+        """Back to the never-heard-anything state (a cold reboot loses the
+        RAM chunk store); :meth:`start` begins re-collecting from adverts."""
+        self.stop()
+        self.sid = -1
+        self.total = 0
+        self._chunks = {}
+        self._completed = False
 
     @property
     def complete(self) -> bool:

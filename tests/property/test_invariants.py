@@ -164,6 +164,64 @@ def test_kernel_cancelled_events_never_fire(delays, cancel_mask):
 
 
 # ----------------------------------------------------------------------
+# Data-survival properties (failure injection, E14)
+# ----------------------------------------------------------------------
+@given(
+    data=st.data(),
+    n_readings=st.integers(1, 30),
+    n_nodes=st.integers(2, 8),
+)
+def test_killed_nodes_flash_never_counted_retrievable(data, n_readings, n_nodes):
+    """Whatever the interleaving of stores, kills, and revivals: a reading
+    stored on a node that is dark at query time is never retrievable, a
+    reading on a live (or revived) node always is, and the breakdown's
+    counts are consistent."""
+    from repro.sim.metrics import DeliveryTracker
+
+    tracker = DeliveryTracker()
+    nodes = list(range(1, n_nodes + 1))
+    stored_at: list = []
+    for i in range(n_readings):
+        producer = data.draw(st.sampled_from(nodes), label="producer")
+        tracker.reading_produced(producer, value=i, time=float(i), intended_owner=None)
+        if data.draw(st.booleans(), label="stored"):
+            target = data.draw(st.sampled_from(nodes), label="stored_at")
+            tracker.reading_stored(
+                producer, i, float(i), stored_at=target, time=float(i)
+            )
+            stored_at.append(target)
+        else:
+            stored_at.append(None)
+    killed = data.draw(
+        st.lists(st.sampled_from(nodes), unique=True, max_size=n_nodes),
+        label="killed",
+    )
+    revived = set()
+    for node in killed:
+        tracker.node_failed(node, time=100.0)
+        if data.draw(st.booleans(), label="revived"):
+            tracker.node_revived(node, time=150.0)
+            revived.add(node)
+    query_time = 200.0
+    down = set(killed) - revived
+    for outcome, target in zip(tracker.readings, stored_at):
+        expected = target is not None and target not in down
+        assert tracker.reading_retrievable(outcome, query_time) == expected
+    breakdown = tracker.survival_breakdown(query_time)
+    stored_count = sum(1 for t in stored_at if t is not None)
+    orphaned = sum(1 for t in stored_at if t is not None and t in down)
+    assert breakdown["readings_produced"] == n_readings
+    assert breakdown["readings_stored"] == stored_count
+    assert breakdown["stored_on_dead_node"] == orphaned
+    assert breakdown["retrievable"] == stored_count - orphaned
+    assert breakdown["completeness"] == (stored_count - orphaned) / n_readings
+    # During the downtime window even later-revived nodes are dark.
+    for outcome, target in zip(tracker.readings, stored_at):
+        if target in killed:
+            assert not tracker.reading_retrievable(outcome, 120.0)
+
+
+# ----------------------------------------------------------------------
 # Indexing algorithm property: argmin optimality (within tie tolerance)
 # ----------------------------------------------------------------------
 @settings(max_examples=25, deadline=None)

@@ -364,6 +364,43 @@ class TestCampaignExecution:
         assert out.executed == 1 and out.cached == 1
         assert out.results[0].to_dict() == out.results[1].to_dict()
 
+    def test_node_churn_grid_parallel_matches_serial(self, tmp_path):
+        # E14 determinism: the failure schedule is derived from the spec
+        # alone, so a churn campaign fanned out over a process pool is
+        # bit-identical to a serial run. The registered grid is shrunk to
+        # the 14-node fast profile (structure, labels, and churn rates of
+        # the real E14 grid are preserved).
+        trials = scenario_trials("node_churn")
+        assert len(trials) > 2
+        fast = dict(
+            n_nodes=14,
+            domain=ValueDomain(0, 20),
+            sample_interval=5.0,
+            query_interval=10.0,
+            summary_interval=20.0,
+            remap_interval=40.0,
+            stabilization=60.0,
+            duration=240.0,
+            beacon_interval=5.0,
+            query_reply_window=8.0,
+            node_staleness_intervals=2.0,
+        )
+        shrunk = [
+            (label, dataclasses.replace(spec, scoop=ScoopConfig(**fast)))
+            for label, spec in trials
+        ]
+        campaign = Campaign.from_specs("node_churn_fast", shrunk)
+        serial = run_campaign(campaign, jobs=1, cache=ResultCache(tmp_path / "a"))
+        parallel = run_campaign(campaign, jobs=4, cache=ResultCache(tmp_path / "b"))
+        assert serial.executed == parallel.executed == len(trials)
+        churn_seen = False
+        for s, p in zip(serial.trials, parallel.trials):
+            assert s.result.deterministic_dict() == p.result.deterministic_dict()
+            if s.trial.spec.churn_rate > 0:
+                churn_seen = True
+                assert s.result.metrics.survival["nodes_failed"] > 0
+        assert churn_seen
+
     def test_plugin_policy_parallel_matches_serial(self, tmp_path):
         # A plug-in registered from a module-level factory must run under
         # a process pool too (workers re-register it via the initializer).

@@ -172,6 +172,35 @@ class TestTimer:
         sim.run(7.0)
         assert fired == [1.0, 6.0]
 
+    def test_explicit_delay_fires_exactly_despite_jitter(self):
+        # Regression: start(delay=...) used to apply the configured jitter
+        # to an explicit first delay, so deliberately staggered startups
+        # were silently randomized.
+        sim = Simulator(seed=5)
+        fired = []
+        timer = Timer(
+            sim, lambda: fired.append(sim.now), interval=10.0, periodic=True, jitter=0.2
+        )
+        timer.start(delay=3.0)
+        sim.run(4.0)
+        assert fired == [3.0]
+
+    def test_interval_derived_first_delay_still_jittered(self):
+        sim = Simulator(seed=5)
+        firings = []
+        for _ in range(8):
+            fired = []
+            timer = Timer(
+                sim, lambda f=fired: f.append(sim.now), interval=10.0, jitter=0.2
+            )
+            timer.start()  # no explicit delay: jitter applies
+            firings.append(fired)
+        start = sim.now
+        sim.run(start + 13.0)
+        first = [f[0] - start for f in firings]
+        assert all(8.0 <= t <= 12.0 for t in first)
+        assert len(set(round(t, 9) for t in first)) > 1
+
     def test_jitter_bounds(self):
         sim = Simulator(seed=3)
         fired = []

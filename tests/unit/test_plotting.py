@@ -12,6 +12,8 @@ from repro.experiments.campaign import Campaign
 from repro.experiments.export import EXPORT_KIND, EXPORT_SCHEMA_VERSION
 from repro.experiments.plotting import (
     breakdown_svg,
+    completeness_labels,
+    completeness_series_svg,
     parse_series,
     plot_campaign,
     png_supported,
@@ -72,6 +74,36 @@ CATEGORICAL_DOC = make_doc(
         for i, kind in enumerate(("line", "grid", "testbed"))
     ],
     name="topology_profiles",
+)
+
+
+def churn_trial(label, seed, completeness):
+    return {
+        "label": label,
+        "scenario": "node_churn",
+        "seed": seed,
+        "analytical": False,
+        "from_cache": False,
+        "result": {"metrics": {"survival": {"completeness": completeness}}},
+    }
+
+
+#: An E14-shaped export: sweep labels plus per-trial survival metrics.
+CHURN_DOC = dict(
+    make_doc(
+        [
+            label_entry(f"churn={rate:g}/{policy}", 1000.0)
+            for rate in (0.0, 0.3)
+            for policy in ("scoop", "local")
+        ],
+        name="node_churn",
+    ),
+    trials=[
+        churn_trial(f"churn={rate:g}/{policy}", seed, completeness - seed * 0.01)
+        for rate, completeness in ((0.0, 0.95), (0.3, 0.75))
+        for policy in ("scoop", "local")
+        for seed in (1, 2)
+    ],
 )
 
 
@@ -169,6 +201,28 @@ class TestSeriesChart:
             series_svg(BAR_DOC)
 
 
+class TestCompletenessChart:
+    def test_labels_aggregate_across_seeds(self):
+        labels = completeness_labels(CHURN_DOC)
+        assert labels is not None
+        by_label = {entry["label"]: entry["total"] for entry in labels}
+        # Mean of the two seeds (0.95 - 0.01, 0.95 - 0.02) = 0.935.
+        assert by_label["churn=0/scoop"]["mean"] == pytest.approx(0.935)
+        assert by_label["churn=0.3/local"]["mean"] == pytest.approx(0.735)
+        assert by_label["churn=0/scoop"]["ci95"] > 0
+
+    def test_no_survival_data_is_none(self):
+        assert completeness_labels(SWEEP_DOC) is None
+        with pytest.raises(ValueError, match="survival"):
+            completeness_series_svg(SWEEP_DOC)
+
+    def test_renders_series_chart_with_metric_title(self):
+        svg = completeness_series_svg(CHURN_DOC)
+        svg_root(svg)
+        assert "retrieval completeness" in svg
+        assert "churn" in svg
+
+
 class TestPlotCampaign:
     def test_bar_doc_writes_breakdown_only(self, tmp_path):
         written = plot_campaign(BAR_DOC, tmp_path)
@@ -181,6 +235,16 @@ class TestPlotCampaign:
         assert [p.name for p in written] == [
             "scaling_xl-20260730-breakdown.svg",
             "scaling_xl-20260730-series.svg",
+        ]
+        for path in written:
+            svg_root(path.read_text())
+
+    def test_churn_doc_writes_completeness_chart_too(self, tmp_path):
+        written = plot_campaign(CHURN_DOC, tmp_path, stem="node_churn-x")
+        assert [p.name for p in written] == [
+            "node_churn-x-breakdown.svg",
+            "node_churn-x-series.svg",
+            "node_churn-x-completeness.svg",
         ]
         for path in written:
             svg_root(path.read_text())

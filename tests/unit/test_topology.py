@@ -113,17 +113,46 @@ class TestIndoorTestbed:
         topo = indoor_testbed(63)
         assert topo.n == 63
         assert topo.is_connected()
+        assert topo.name.startswith("testbed-")
 
     def test_has_positions(self):
         topo = indoor_testbed(30)
         assert topo.positions is not None
         assert len(topo.positions) == 30
 
+    def test_disconnected_fallback_warns_and_labels_honestly(self):
+        # At n=9, seed=0 the two "rooms" land beyond radio range of the
+        # corner basestation, so the generated testbed is disconnected and
+        # the generator must fall back — loudly, under a fallback name,
+        # never silently pretending a geo-* layout is the testbed.
+        with pytest.warns(RuntimeWarning, match="disconnected"):
+            topo = indoor_testbed(9, seed=0)
+        assert topo.is_connected()
+        assert topo.name.startswith("testbed-fallback-")
+
+    def test_fallback_passes_asymmetry_through(self):
+        with pytest.warns(RuntimeWarning):
+            topo = indoor_testbed(9, seed=0, asymmetry=0.0)
+        for i in range(topo.n):
+            for j in range(topo.n):
+                if topo.audible(i, j):
+                    assert topo.loss[i][j] == pytest.approx(topo.loss[j][i])
+
 
 class TestValidationAndQueries:
     def test_bad_matrix_shape_rejected(self):
         with pytest.raises(ValueError):
             Topology(n=3, loss=[[0.0, 0.0], [0.0, 0.0]])
+
+    def test_constructor_never_mutates_callers_matrix(self):
+        # Regression: the diagonal write in __post_init__ used to land in
+        # the caller's rows when a matrix was passed to Topology directly.
+        mine = [[0.5] * 3 for _ in range(3)]
+        topo = Topology(n=3, loss=mine)
+        assert mine == [[0.5] * 3 for _ in range(3)]
+        assert all(topo.loss[i][i] == 1.0 for i in range(3))
+        topo.loss[0][1] = 0.9
+        assert mine[0][1] == 0.5
 
     def test_from_loss_matrix(self):
         topo = from_loss_matrix([[1.0, 0.2], [0.3, 1.0]])
