@@ -49,6 +49,7 @@ def main() -> int:
     # takes to be exercised nightly — assert the newest additions really
     # are discovered that way rather than via a hand-edited list.
     assert "node_churn" in names, names
+    assert "multi_attribute" in names, names
     for name in names:
         execution = check_scenario(name)
         print(f"{name}: replayed {execution['cached']} trials from cache")

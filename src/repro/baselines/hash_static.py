@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence, Set
+from typing import Dict, Mapping, Optional, Sequence, Set
 
 from repro.core.basestation import Basestation
 from repro.core.config import ScoopConfig
@@ -37,16 +37,37 @@ from repro.workloads.queries import QueryGenerator, QueryPlanConfig
 _HASH_MULTIPLIER = 2_654_435_761
 
 
+#: Salt stride separating per-attribute hash functions (E15): attribute
+#: a's placement uses ``salt + a * _ATTR_SALT_STRIDE``, so attribute 0
+#: keeps the legacy single-attribute mapping byte-for-byte.
+_ATTR_SALT_STRIDE = 1_000_003
+
+
 def hash_owner(value: int, sensors: Sequence[int], salt: int = 0) -> int:
     """The static uniform hash: value -> owning sensor node."""
     return sensors[((value + salt) * _HASH_MULTIPLIER) % (2**32) % len(sensors)]
 
 
-def build_hash_index(config: ScoopConfig, salt: int = 0, sid: int = 1) -> StorageIndex:
-    """A fixed storage index implementing the static hash placement."""
+def build_hash_index(
+    config: ScoopConfig, salt: int = 0, sid: int = 1, attr: int = 0
+) -> StorageIndex:
+    """A fixed storage index implementing the static hash placement for
+    one attribute."""
     sensors = list(config.sensor_ids)
-    owners = [hash_owner(v, sensors, salt) for v in config.domain]
-    return StorageIndex.single_owner(sid, config.domain, owners)
+    attr_salt = salt + attr * _ATTR_SALT_STRIDE
+    domain = config.domain_of(attr)
+    owners = [hash_owner(v, sensors, attr_salt) for v in domain]
+    return StorageIndex.single_owner(sid, domain, owners, attr=attr)
+
+
+def build_hash_indexes(
+    config: ScoopConfig, salt: int = 0, sid: int = 1
+) -> Dict[int, StorageIndex]:
+    """One static index per registered attribute."""
+    return {
+        attr: build_hash_index(config, salt=salt, sid=sid, attr=attr)
+        for attr in config.attribute_ids
+    }
 
 
 @dataclass
@@ -90,8 +111,8 @@ class AnalyticalHashModel:
         self.salt = salt
         self.sensors = [n for n in config.sensor_ids if n < topology.n]
 
-    def owner_of(self, value: int) -> int:
-        return hash_owner(value, self.sensors, self.salt)
+    def owner_of(self, value: int, attr: int = 0) -> int:
+        return hash_owner(value, self.sensors, self.salt + attr * _ATTR_SALT_STRIDE)
 
     def _finite_etx(self, src: int, dst: int) -> float:
         etx = self.topology.path_etx(src, dst)
@@ -122,15 +143,25 @@ class AnalyticalHashModel:
             t * config.sample_interval
             for t in range(1, int(duration / config.sample_interval) + 1)
         ]
-        for node in self.sensors:
-            for t in sample_times:
-                value = config.domain.clamp(workload.sample(node, t))
-                owner = self.owner_of(value)
-                if owner != node:
-                    data_cost += self._finite_etx(node, owner)
+        for attr in config.attribute_ids:
+            domain = config.domain_of(attr)
+            for node in self.sensors:
+                for t in sample_times:
+                    value = domain.clamp(workload.sample_attr(node, t, attr))
+                    owner = self.owner_of(value, attr)
+                    if owner != node:
+                        data_cost += self._finite_etx(node, owner)
 
         rng = random.Random(seed)
-        generator = QueryGenerator(query_plan, config.domain, self.sensors, rng)
+        generator = QueryGenerator(
+            query_plan,
+            config.domain,
+            self.sensors,
+            rng,
+            attribute_domains=[
+                config.domain_of(a) for a in config.attribute_ids
+            ],
+        )
         query_cost = 0.0
         n_queries = int(duration / config.query_interval)
         for k in range(n_queries):
@@ -140,7 +171,9 @@ class AnalyticalHashModel:
                 owners: Set[int] = set(query.node_list)
             else:
                 lo, hi = query.value_range
-                owners = {self.owner_of(v) for v in range(lo, hi + 1)}
+                owners = {
+                    self.owner_of(v, query.attr) for v in range(lo, hi + 1)
+                }
             for owner in owners:
                 query_cost += self._finite_etx(base, owner) + self._finite_etx(
                     owner, base
@@ -148,19 +181,35 @@ class AnalyticalHashModel:
         return HashCostEstimate(data=data_cost, query_reply=query_cost)
 
 
-class HashNode(ScoopNode):
-    """Simulated HASH sensor: static pre-installed index, no statistics."""
+def _as_index_map(
+    hash_index: Optional[StorageIndex],
+    hash_indexes: Optional[Mapping[int, StorageIndex]],
+) -> Dict[int, StorageIndex]:
+    if (hash_index is None) == (hash_indexes is None):
+        raise ValueError("pass exactly one of hash_index / hash_indexes")
+    if hash_index is not None:
+        return {hash_index.attr: hash_index}
+    return dict(hash_indexes)
 
-    def __init__(self, *args, hash_index: StorageIndex, **kwargs):
+
+class HashNode(ScoopNode):
+    """Simulated HASH sensor: static pre-installed indexes, no statistics."""
+
+    def __init__(
+        self,
+        *args,
+        hash_index: Optional[StorageIndex] = None,
+        hash_indexes: Optional[Mapping[int, StorageIndex]] = None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
-        self.current_index = hash_index
+        self._indexes = _as_index_map(hash_index, hash_indexes)
 
     def on_boot(self) -> None:
         pass  # nothing to disseminate: the index is static
 
     def start_sampling(self) -> None:
-        if self.data_source is None:
-            raise RuntimeError(f"node {self.node_id} has no data source")
+        self._require_sources()
         if self.sampling:
             return
         self.sampling = True
@@ -171,12 +220,19 @@ class HashNode(ScoopNode):
 
 
 class HashBasestation(Basestation):
-    """Simulated HASH basestation: plans queries off the static index."""
+    """Simulated HASH basestation: plans queries off the static indexes."""
 
-    def __init__(self, *args, hash_index: StorageIndex, **kwargs):
+    def __init__(
+        self,
+        *args,
+        hash_index: Optional[StorageIndex] = None,
+        hash_indexes: Optional[Mapping[int, StorageIndex]] = None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
-        self.current_index = hash_index
-        self.index_history.append((0.0, hash_index))
+        self._indexes = _as_index_map(hash_index, hash_indexes)
+        for attr, index in self._indexes.items():
+            self.index_histories[attr].append((0.0, index))
 
     def on_boot(self) -> None:
         pass

@@ -29,8 +29,7 @@ class LocalNode(ScoopNode):
         pass
 
     def start_sampling(self) -> None:
-        if self.data_source is None:
-            raise RuntimeError(f"node {self.node_id} has no data source")
+        self._require_sources()
         if self.sampling:
             return
         self.sampling = True
@@ -40,16 +39,19 @@ class LocalNode(ScoopNode):
         )
 
     def _sample(self) -> None:
-        if not self.sampling or self.data_source is None:
+        if not self.sampling or (
+            self.data_source is None and self.multi_source is None
+        ):
             return
         now = self.sim.now
-        value = self.config.domain.clamp(self.data_source(self.node_id, now))
-        self.recent.add(now, value)
-        if self.tracker is not None:
-            self.tracker.reading_produced(
-                self.node_id, value, now, intended_owner=self.node_id
-            )
-        self._store_reading((value, now, self.node_id))
+        for attr in self.config.attribute_ids:
+            value = self.config.domain_of(attr).clamp(self._read_sensor(attr, now))
+            self._recent_by_attr[attr].add(now, value)
+            if self.tracker is not None:
+                self.tracker.reading_produced(
+                    self.node_id, value, now, intended_owner=self.node_id, attr=attr
+                )
+            self._store_reading((value, now, self.node_id), attr)
 
 
 class LocalBasestation(Basestation):

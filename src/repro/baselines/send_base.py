@@ -26,8 +26,7 @@ class SendToBaseNode(ScoopNode):
         pass  # no mapping dissemination under BASE
 
     def start_sampling(self) -> None:
-        if self.data_source is None:
-            raise RuntimeError(f"node {self.node_id} has no data source")
+        self._require_sources()
         if self.sampling:
             return
         self.sampling = True
@@ -37,18 +36,23 @@ class SendToBaseNode(ScoopNode):
         )
 
     def _sample(self) -> None:
-        if not self.sampling or self.data_source is None:
+        if not self.sampling or (
+            self.data_source is None and self.multi_source is None
+        ):
             return
         now = self.sim.now
-        value = self.config.domain.clamp(self.data_source(self.node_id, now))
-        self.recent.add(now, value)
         base = self.config.basestation_id
-        if self.tracker is not None:
-            self.tracker.reading_produced(self.node_id, value, now, intended_owner=base)
-        message = DataMessage(
-            readings=[(value, now, self.node_id)], owner=base, sid=0
-        )
-        self._route_by_rules(message)
+        for attr in self.config.attribute_ids:
+            value = self.config.domain_of(attr).clamp(self._read_sensor(attr, now))
+            self._recent_by_attr[attr].add(now, value)
+            if self.tracker is not None:
+                self.tracker.reading_produced(
+                    self.node_id, value, now, intended_owner=base, attr=attr
+                )
+            message = DataMessage(
+                readings=[(value, now, self.node_id)], owner=base, sid=0, attr=attr
+            )
+            self._route_by_rules(message)
 
 
 class SendToBaseBasestation(Basestation):

@@ -30,7 +30,7 @@ from repro.core.messages import QueryMessage, ReplyMessage, SummaryMessage
 from repro.core.node import ScoopNode
 from repro.core.query import Query, QueryResult
 from repro.core.statistics import BasestationStatistics
-from repro.core.storage_index import STORE_LOCAL, StorageIndex
+from repro.core.storage_index import STORE_LOCAL, StorageIndex, chunk_index_set
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.metrics import DeliveryTracker
 from repro.sim.packets import Frame, FrameKind
@@ -59,9 +59,16 @@ class Basestation(ScoopNode):
             is_root=True,
         )
         self.stats = BasestationStatistics(config)
+        #: shared monotonic id counter: every accepted index of every
+        #: attribute draws its sid here, and the latest value doubles as
+        #: the dissemination epoch ("shared epoch, per-attribute ids").
         self._sid_counter = 0
-        #: (created_at, index) for every index ever disseminated.
-        self.index_history: List[Tuple[float, StorageIndex]] = []
+        #: per-attribute (created_at, index) histories of every index
+        #: ever disseminated; attribute 0's list is also the legacy
+        #: ``index_history``.
+        self.index_histories: Dict[int, List[Tuple[float, StorageIndex]]] = {
+            attr: [] for attr in config.attribute_ids
+        }
         self.last_build: Optional[IndexBuildResult] = None
         self.remaps_run = 0
         self.remaps_suppressed = 0
@@ -74,6 +81,11 @@ class Basestation(ScoopNode):
         )
         self._open_queries: Dict[int, QueryResult] = {}
         self.query_log: List[QueryResult] = []
+
+    @property
+    def index_history(self) -> List[Tuple[float, StorageIndex]]:
+        """Attribute 0's dissemination history (the legacy view)."""
+        return self.index_histories[0]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -102,69 +114,97 @@ class Basestation(ScoopNode):
     # ------------------------------------------------------------------
     # Index construction and dissemination
     # ------------------------------------------------------------------
+    def _bump(self, counter: str, by: int = 1) -> None:
+        self.planner_stats[counter] = self.planner_stats.get(counter, 0) + by
+
     def _remap(self) -> None:
+        """One remap cycle: run the Figure-2 argmin once per registered
+        attribute (sharing a single topology/cost model build — the
+        planner work that stays flat in the attribute count), then
+        disseminate every accepted index under one shared epoch."""
         now = self.sim.now
         model = NetworkModel.from_statistics(self.stats)
         try:
-            result = build_storage_index(
-                self._sid_counter + 1,
-                self.stats,
-                model,
-                self.config,
-                now,
-                previous=self.current_index,
-            )
-            self.last_build = result
-            self.remaps_run += 1
-            candidate = result.index
-            if result.chose_store_local:
-                candidate = StorageIndex.uniform(
-                    self._sid_counter + 1, self.config.domain, STORE_LOCAL
+            accepted: List[Tuple[int, StorageIndex]] = []
+            for attr in self.config.attribute_ids:
+                provisional_sid = self._sid_counter + 1 + len(accepted)
+                result = build_storage_index(
+                    provisional_sid,
+                    self.stats,
+                    model,
+                    self.config,
+                    now,
+                    previous=self.index_for(attr),
+                    attr=attr,
                 )
-            if self._should_suppress(candidate, model, result, now):
-                # "...suppressing the dissemination of a new storage index
-                # altogether if it is very similar to the previous" — nodes
-                # keep using the old one.
+                if attr == 0:
+                    self.last_build = result
+                self._bump(f"a{attr}.index_builds")
+                candidate = result.index
+                if result.chose_store_local:
+                    candidate = StorageIndex.uniform(
+                        provisional_sid,
+                        self.config.domain_of(attr),
+                        STORE_LOCAL,
+                        attr=attr,
+                    )
+                if self._should_suppress(candidate, model, result, now, attr):
+                    # "...suppressing the dissemination of a new storage
+                    # index altogether if it is very similar to the
+                    # previous" — nodes keep using the old one.
+                    self._bump(f"a{attr}.remaps_suppressed")
+                    continue
+                accepted.append((attr, candidate))
+            self.remaps_run += 1
+            if not accepted:
                 self.remaps_suppressed += 1
                 return
-            self._count_reassignments(candidate, now)
-            self._sid_counter += 1
-            self.current_index = candidate
-            self.index_history.append((now, candidate))
-            self.disseminator.seed(self._sid_counter, candidate.to_chunks())
+            # Count the staleness-evicted population once per remap (it
+            # is attribute-agnostic); reassignment counts are per index.
+            stale = self.stats.stale_nodes(now)
+            if stale:
+                self._bump("stale_nodes_seen", len(stale))
+            for attr, candidate in accepted:
+                self._count_reassignments(candidate, stale, attr)
+                self._sid_counter += 1
+                stamped = candidate.with_sid(self._sid_counter)
+                self._indexes[attr] = stamped
+                self.index_histories[attr].append((now, stamped))
+                self._bump(f"a{attr}.indices_disseminated")
+            if self.config.n_attributes == 1:
+                # legacy wire format: epoch == the single index's sid
+                chunks = self._indexes[0].to_chunks()
+            else:
+                # every attribute's current mapping rides one Trickle
+                # wave — gossip cost per epoch is shared across k (E15)
+                chunks = chunk_index_set(self._sid_counter, self._indexes)
+            self.disseminator.seed(self._sid_counter, chunks)
         finally:
             self._absorb_planner_stats(model)
 
-    def _count_reassignments(self, candidate: StorageIndex, now: float) -> None:
-        """Planner counters for the node-death recovery story (E14): how
-        many staleness-evicted nodes this remap saw, and how many domain
-        values moved off a presumed-dead owner onto a live one."""
-        stale = self.stats.stale_nodes(now)
-        if not stale:
-            return
-        self.planner_stats["stale_nodes_seen"] = self.planner_stats.get(
-            "stale_nodes_seen", 0
-        ) + len(stale)
-        if self.current_index is None:
+    def _count_reassignments(
+        self, candidate: StorageIndex, stale: Set[int], attr: int = 0
+    ) -> None:
+        """Planner counter for the node-death recovery story (E14): how
+        many of this attribute's domain values moved off a presumed-dead
+        owner onto a live one."""
+        current = self.index_for(attr)
+        if not stale or current is None:
             return
         reassigned = sum(
             1
-            for v in self.config.domain
-            if set(self.current_index.owners_of(v)) & stale
+            for v in self.config.domain_of(attr)
+            if set(current.owners_of(v)) & stale
             and not set(candidate.owners_of(v)) & stale
         )
         if reassigned:
-            self.planner_stats["owners_reassigned"] = (
-                self.planner_stats.get("owners_reassigned", 0) + reassigned
-            )
+            self._bump("owners_reassigned", reassigned)
 
     def _absorb_planner_stats(self, model: NetworkModel) -> None:
         """Fold one remap's cost-model counters into the trial totals."""
-        self.planner_stats["model_builds"] = (
-            self.planner_stats.get("model_builds", 0) + 1
-        )
+        self._bump("model_builds")
         for name, count in model.stats.items():
-            self.planner_stats[name] = self.planner_stats.get(name, 0) + count
+            self._bump(name, count)
 
     def _should_suppress(
         self,
@@ -172,29 +212,28 @@ class Basestation(ScoopNode):
         model: NetworkModel,
         result: IndexBuildResult,
         now: float,
+        attr: int = 0,
     ) -> bool:
         """Suppress dissemination when the new index is "very similar" to
         the current one (Section 5.3) — similar both in the fraction of the
         domain mapped identically AND in expected cost, so a small change
         to a *hot* value (e.g. a heavily queried band moving toward the
         base) still propagates."""
-        if self.current_index is None:
+        current = self.index_for(attr)
+        if current is None:
             return False
-        if (
-            candidate.similarity(self.current_index)
-            < self.config.suppression_similarity
-        ):
+        if candidate.similarity(current) < self.config.suppression_similarity:
             return False
-        if STORE_LOCAL in self.current_index.all_owners() or STORE_LOCAL in (
+        if STORE_LOCAL in current.all_owners() or STORE_LOCAL in (
             candidate.all_owners()
         ):
             # Policy-mode changes always disseminate; plain similarity is
             # not meaningful across the sentinel.
-            return candidate.similarity(self.current_index) >= 1.0
+            return candidate.similarity(current) >= 1.0
         from repro.core.indexing import evaluate_index_cost
 
         old_cost = evaluate_index_cost(
-            self.current_index, self.stats, model, self.config, now
+            current, self.stats, model, self.config, now
         )
         new_cost = max(result.expected_cost, 1e-9)
         # 25% slack: statistics built from 30-reading histograms fluctuate
@@ -205,20 +244,24 @@ class Basestation(ScoopNode):
     # ------------------------------------------------------------------
     # Query planning (Section 5.5)
     # ------------------------------------------------------------------
-    def _indices_active_during(self, t_lo: float, t_hi: float) -> List[StorageIndex]:
-        """All indices whose activity window may overlap [t_lo, t_hi].
+    def _indices_active_during(
+        self, t_lo: float, t_hi: float, attr: int = 0
+    ) -> List[StorageIndex]:
+        """All of ``attr``'s indices whose activity window may overlap
+        [t_lo, t_hi].
 
         An index is active from its creation until the *next* index is
         created — but nodes lag (lost chunks), so the basestation also
         keeps any index some node reported using in the window
         (``sids_in_use``).
         """
-        reported = self.stats.sids_in_use(t_lo, t_hi)
+        history = self.index_histories[attr]
+        reported = self.stats.sids_in_use(t_lo, t_hi, attr)
         active: List[StorageIndex] = []
-        for position, (created_at, index) in enumerate(self.index_history):
+        for position, (created_at, index) in enumerate(history):
             next_created = (
-                self.index_history[position + 1][0]
-                if position + 1 < len(self.index_history)
+                history[position + 1][0]
+                if position + 1 < len(history)
                 else float("inf")
             )
             by_time = created_at <= t_hi and next_created >= t_lo
@@ -227,28 +270,28 @@ class Basestation(ScoopNode):
         return active
 
     def plan_query(self, query: Query) -> Set[int]:
-        """The set of nodes that may hold matching tuples."""
+        """The set of nodes that may hold matching tuples, consulting the
+        queried attribute's index stream."""
         if query.node_list is not None:
             return set(query.node_list)
+        attr = query.attr
+        domain = self.config.domain_of(attr)
         t_lo, t_hi = query.time_range
-        v_range = query.value_range or (
-            self.config.domain.lo,
-            self.config.domain.hi,
-        )
+        v_range = query.value_range or (domain.lo, domain.hi)
         targets: Set[int] = set()
         local_mode = False
-        for index in self._indices_active_during(t_lo, t_hi):
+        for index in self._indices_active_during(t_lo, t_hi, attr):
             owners = index.owners_for_range(*v_range)
             if STORE_LOCAL in owners:
                 local_mode = True
                 owners = owners - {STORE_LOCAL}
             targets |= owners
-        reported = self.stats.sids_in_use(t_lo, t_hi)
-        if -1 in reported or local_mode or not self.index_history:
+        reported = self.stats.sids_in_use(t_lo, t_hi, attr)
+        if -1 in reported or local_mode or not self.index_histories[attr]:
             # Some nodes were storing locally: add every node whose recent
             # value range could overlap the query.
             targets |= self.stats.nodes_possibly_storing_locally(
-                query.value_range, t_lo, t_hi
+                query.value_range, t_lo, t_hi, attr
             )
         # Data that fell back to the root is found by the free local scan.
         targets.discard(self.node_id)
@@ -259,12 +302,25 @@ class Basestation(ScoopNode):
     # ------------------------------------------------------------------
     def issue_query(self, query: Query) -> QueryResult:
         now = self.sim.now
-        self.stats.record_query(query.value_range, now)
+        # Malformed queries error instead of silently returning nothing:
+        # the attribute must be registered and a value range must sit
+        # inside that attribute's configured domain.
+        domain = self.config.domain_of(query.attr)
+        if query.value_range is not None:
+            lo, hi = query.value_range
+            if lo not in domain or hi not in domain:
+                raise ValueError(
+                    f"query {query.query_id}: value range [{lo}, {hi}] outside "
+                    f"attribute {query.attr}'s domain [{domain.lo}, {domain.hi}]"
+                )
+        self.stats.record_query(query.value_range, now, attr=query.attr)
         targets = self.plan_query(query)
         result = QueryResult(query=query, nodes_targeted=set(targets))
         # Free local scan: rule-4 fallback data and anything the root owns.
         local = self.flash.scan(
-            time_range=query.time_range, value_range=query.value_range
+            time_range=query.time_range,
+            value_range=query.value_range,
+            attr=query.attr,
         )
         if query.node_list is not None:
             local = [r for r in local if r.origin in query.node_list]
@@ -285,6 +341,7 @@ class Basestation(ScoopNode):
             issued_at=now,
             node_filter=query.node_list,
             bitmap_bytes=self.config.query_bitmap_bytes,
+            attr=query.attr,
         )
         self._open_queries[query.query_id] = result
         if self.tracker is not None:
@@ -325,9 +382,9 @@ class Basestation(ScoopNode):
     # ------------------------------------------------------------------
     # Summary-based answers (free of network cost)
     # ------------------------------------------------------------------
-    def answer_max(self, since: float = 0.0) -> Optional[int]:
+    def answer_max(self, since: float = 0.0, attr: int = 0) -> Optional[int]:
         """MAX(attr) straight from summaries (Section 5.5 optimization)."""
-        return self.stats.max_value_seen(since)
+        return self.stats.max_value_seen(since, attr)
 
-    def answer_min(self, since: float = 0.0) -> Optional[int]:
-        return self.stats.min_value_seen(since)
+    def answer_min(self, since: float = 0.0, attr: int = 0) -> Optional[int]:
+        return self.stats.min_value_seen(since, attr)

@@ -126,6 +126,42 @@ class ValueDomain:
         return cls(lo=int(data["lo"]), hi=int(data["hi"]))
 
 
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One named, indexable sensor attribute and its value domain.
+
+    The paper's Section 5.5 query model is one attribute per index; the
+    motivating deployments sample several (temperature, light, humidity).
+    A deployment's attribute registry (:attr:`ScoopConfig.attributes`)
+    names each concurrently indexed attribute; attribute ids are the
+    registry positions, so attribute 0 is always the legacy single
+    attribute of the paper's experiments.
+    """
+
+    name: str
+    domain: ValueDomain
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute needs a non-empty name")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "domain": self.domain.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AttributeSpec":
+        return cls(
+            name=str(data["name"]), domain=ValueDomain.from_dict(data["domain"])
+        )
+
+
+def _attribute_specs_from_list(items) -> Tuple[AttributeSpec, ...]:
+    return tuple(
+        item if isinstance(item, AttributeSpec) else AttributeSpec.from_dict(item)
+        for item in items
+    )
+
+
 @dataclass
 class ScoopConfig:
     """All tunables of a Scoop deployment, defaulted to the paper's values."""
@@ -156,7 +192,16 @@ class ScoopConfig:
 
     # -- data / statistics ------------------------------------------------
     #: Attribute domain (REAL trace: ~150 values; synthetic: [0, 100]).
+    #: This is always attribute 0's domain (the paper's single attribute).
     domain: ValueDomain = field(default_factory=lambda: ValueDomain(0, 100))
+    #: Multi-attribute registry (E15). Empty = the legacy single-attribute
+    #: deployment: one implicit attribute named "value" over ``domain``.
+    #: When set, entry 0 must agree with ``domain`` (attribute 0 *is* the
+    #: legacy attribute; everything single-attribute-shaped keeps reading
+    #: ``domain``), and each further entry adds a concurrently indexed
+    #: attribute with its own domain, histogram statistics, storage index
+    #: and summary stream.
+    attributes: Tuple[AttributeSpec, ...] = ()
     #: Histogram bins in summary messages ("nBins is 10").
     n_bins: int = 10
     #: Recent-readings ring size ("size 30, in our experiments").
@@ -261,15 +306,64 @@ class ScoopConfig:
         lo, hi = self.query_width_frac
         if not (0 < lo <= hi <= 1):
             raise ValueError("query_width_frac must satisfy 0 < lo <= hi <= 1")
+        if self.attributes:
+            names = [spec.name for spec in self.attributes]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate attribute names in {names}")
+            if self.attributes[0].domain != self.domain:
+                raise ValueError(
+                    "attributes[0] is the legacy attribute and must share "
+                    f"`domain` ({self.domain}); got {self.attributes[0].domain}"
+                )
+
+    # -- attribute registry ------------------------------------------------
+    @property
+    def attribute_specs(self) -> Tuple[AttributeSpec, ...]:
+        """The live registry: ``attributes``, or the implicit legacy
+        single attribute over ``domain``."""
+        if self.attributes:
+            return self.attributes
+        return (AttributeSpec("value", self.domain),)
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attribute_specs)
+
+    @property
+    def attribute_ids(self) -> range:
+        return range(self.n_attributes)
+
+    def domain_of(self, attr: int) -> ValueDomain:
+        """Value domain of attribute id ``attr`` (0 = the legacy one)."""
+        specs = self.attribute_specs
+        if not 0 <= attr < len(specs):
+            raise ValueError(
+                f"attribute id {attr} outside registry of {len(specs)}"
+            )
+        return specs[attr].domain
+
+    def attribute_id(self, name: str) -> int:
+        """Registry position of the attribute called ``name``."""
+        for position, spec in enumerate(self.attribute_specs):
+            if spec.name == name:
+                return position
+        raise ValueError(f"unknown attribute {name!r}")
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping; inverse of :meth:`from_dict`."""
-        return dataclass_to_dict(self)
+        out = dataclass_to_dict(self)
+        out["attributes"] = [spec.to_dict() for spec in self.attributes]
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScoopConfig":
         return dataclass_from_dict(
-            cls, data, converters={"domain": ValueDomain.from_dict}
+            cls,
+            data,
+            converters={
+                "domain": ValueDomain.from_dict,
+                "attributes": _attribute_specs_from_list,
+            },
         )
 
     @property

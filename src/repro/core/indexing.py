@@ -83,19 +83,21 @@ def _gather_inputs(
     model: NetworkModel,
     config: ScoopConfig,
     now: float,
+    attr: int = 0,
 ) -> _ProblemInputs:
     base = config.basestation_id
     # Staleness eviction (Section 6 recovery): nodes silent beyond the
     # staleness window are neither producers nor owner candidates, so a
     # dead owner's range is reassigned by the very next argmin.
-    producers = stats.producer_nodes(now)
+    producers = stats.producer_nodes(now, attr)
     candidates = sorted(set(stats.known_nodes(now)) | {base})
-    production = stats.production_matrix(producers)
+    production = stats.production_matrix(producers, attr)
     rates = stats.rate_vector(producers)
     xmits_po = model.xmits_matrix(producers, candidates)
     roundtrip = model.roundtrip_vector(base, candidates)
     np.nan_to_num(xmits_po, copy=False, posinf=UNREACHABLE_COST)
     np.nan_to_num(roundtrip, copy=False, posinf=UNREACHABLE_COST)
+    queries = stats.queries_for(attr)
     return _ProblemInputs(
         producers=producers,
         candidates=candidates,
@@ -103,8 +105,8 @@ def _gather_inputs(
         rates=rates,
         xmits_po=xmits_po,
         roundtrip=roundtrip,
-        query_prob=stats.queries.probability_vector(),
-        query_rate=stats.queries.query_rate(now),
+        query_prob=queries.probability_vector(),
+        query_rate=queries.query_rate(now),
     )
 
 
@@ -127,6 +129,7 @@ def evaluate_store_local_cost(
     model: NetworkModel,
     config: ScoopConfig,
     now: float,
+    attr: int = 0,
 ) -> float:
     """Expected messages/second under the store-local policy.
 
@@ -135,13 +138,13 @@ def evaluate_store_local_cost(
     tree: ``query_rate · (n_flood + Σ_p xmits(p -> base))``.
     """
     base = config.basestation_id
-    producers = stats.producer_nodes(now) or list(stats.known_nodes(now))
+    producers = stats.producer_nodes(now, attr) or list(stats.known_nodes(now))
     flood_cost = float(len(stats.known_nodes(now)))
     reply_cost = 0.0
     for node in producers:
         xm = model.xmits(node, base)
         reply_cost += xm if math.isfinite(xm) else UNREACHABLE_COST
-    return stats.queries.query_rate(now) * (flood_cost + reply_cost)
+    return stats.queries_for(attr).query_rate(now) * (flood_cost + reply_cost)
 
 
 def evaluate_index_cost(
@@ -156,8 +159,9 @@ def evaluate_index_cost(
     Used for the store-local comparison, ablations, and as the ground truth
     in optimality tests. Multi-owner values charge producers the nearest
     owner and queries every owner, mirroring the owner-set extension.
+    The attribute evaluated is ``index.attr``.
     """
-    inputs = _gather_inputs(stats, model, config, now)
+    inputs = _gather_inputs(stats, model, config, now, attr=index.attr)
     candidate_pos = {node: j for j, node in enumerate(inputs.candidates)}
     total = 0.0
     for v in index.domain:
@@ -279,21 +283,25 @@ def build_storage_index(
     config: ScoopConfig,
     now: float,
     previous: Optional[StorageIndex] = None,
+    attr: int = 0,
 ) -> IndexBuildResult:
     """Run the Figure 2 algorithm and the store-local comparison.
 
     ``previous`` (the currently disseminated index) anchors near-tie
     resolution so consecutive indices stay similar. With no statistics at
     all, every value is mapped to the basestation (the only node the root
-    is sure exists).
+    is sure exists). ``attr`` selects which attribute's statistics,
+    query stream and domain the argmin runs over (the per-attribute remap
+    of E15); the supplied ``model`` is topology-only and is shared across
+    attributes within one remap.
     """
     base = config.basestation_id
-    domain = config.domain
-    inputs = _gather_inputs(stats, model, config, now)
+    domain = config.domain_of(attr)
+    inputs = _gather_inputs(stats, model, config, now, attr=attr)
 
     if not inputs.candidates or not inputs.producers:
-        index = StorageIndex.uniform(sid, domain, base)
-        local_cost = evaluate_store_local_cost(stats, model, config, now)
+        index = StorageIndex.uniform(sid, domain, base, attr=attr)
+        local_cost = evaluate_store_local_cost(stats, model, config, now, attr)
         return IndexBuildResult(
             index=index,
             expected_cost=0.0,
@@ -321,13 +329,13 @@ def build_storage_index(
 
     if config.max_owners_per_value > 1:
         owner_sets = _greedy_owner_sets(inputs, choice, config.max_owners_per_value)
-        index = StorageIndex(sid, domain, owner_sets)
+        index = StorageIndex(sid, domain, owner_sets, attr=attr)
     else:
         owner_by_value = [inputs.candidates[j] for j in choice]
-        index = StorageIndex.single_owner(sid, domain, owner_by_value)
+        index = StorageIndex.single_owner(sid, domain, owner_by_value, attr=attr)
 
     expected = float(np.take_along_axis(cost, choice[:, None], axis=1).sum())
-    local_cost = evaluate_store_local_cost(stats, model, config, now)
+    local_cost = evaluate_store_local_cost(stats, model, config, now, attr)
     chose_local = config.allow_store_local_fallback and local_cost < expected
     return IndexBuildResult(
         index=index,

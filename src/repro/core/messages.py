@@ -55,8 +55,37 @@ MAX_ENTRIES_PER_CHUNK = 5
 
 
 @dataclass(frozen=True)
+class AttributeSummary:
+    """Per-attribute statistics block inside a summary message (E15).
+
+    A multi-attribute node packs one block per attribute beyond the first
+    into its periodic summary instead of sending k separate messages —
+    the block costs bytes, not packets, which is what keeps Scoop's
+    maintenance cost sublinear in the attribute count.
+    """
+
+    attr: int
+    histogram: Optional[Histogram]
+    min_value: int
+    max_value: int
+    sum_values: int
+    #: ID of the last complete storage index held for this attribute.
+    last_sid: int
+
+    def wire_bytes(self) -> int:
+        hist = self.histogram.wire_bytes() if self.histogram else 0
+        # attr id + min/max/sum + sid
+        return 1 + hist + 8 + 2
+
+
+@dataclass(frozen=True)
 class SummaryMessage:
-    """Periodic per-node statistics report (Section 5.2)."""
+    """Periodic per-node statistics report (Section 5.2).
+
+    The scalar fields describe attribute 0 (the paper's single
+    attribute); multi-attribute deployments append one
+    :class:`AttributeSummary` block per further attribute in ``extra``.
+    """
 
     origin: int
     histogram: Optional[Histogram]
@@ -64,34 +93,73 @@ class SummaryMessage:
     max_value: int
     sum_values: int
     #: number of readings taken since the previous summary (lets the
-    #: basestation estimate this node's data rate).
+    #: basestation estimate this node's data rate; attributes are sampled
+    #: together, so one count covers every attribute).
     readings_since_last: int
     #: best-connected neighbors as (node, quality), sorted by quality desc.
     neighbors: Tuple[Tuple[int, float], ...]
-    #: ID of the last complete storage index this node received.
+    #: ID of the last complete storage index this node received
+    #: (attribute 0's index in multi-attribute deployments).
     last_sid: int
+    #: per-attribute blocks for attributes >= 1 (empty = legacy format).
+    extra: Tuple[AttributeSummary, ...] = ()
+
+    def blocks(self) -> Tuple[AttributeSummary, ...]:
+        """Uniform per-attribute view: attribute 0's scalar fields as a
+        block, then ``extra`` verbatim."""
+        head = AttributeSummary(
+            attr=0,
+            histogram=self.histogram,
+            min_value=self.min_value,
+            max_value=self.max_value,
+            sum_values=self.sum_values,
+            last_sid=self.last_sid,
+        )
+        return (head,) + self.extra
 
     def wire_bytes(self) -> int:
         hist = self.histogram.wire_bytes() if self.histogram else 0
-        return hist + 8 + 2 * len(self.neighbors) + 2
+        base = hist + 8 + 2 * len(self.neighbors) + 2
+        return base + sum(block.wire_bytes() for block in self.extra)
 
 
 @dataclass(frozen=True)
 class MappingChunk:
-    """One Trickle-disseminated piece of a storage index (Section 5.3)."""
+    """One Trickle-disseminated piece of a storage index (Section 5.3).
+
+    ``sid`` is the *dissemination epoch* — the version the Trickle state
+    machine tracks. In the legacy single-attribute format the epoch and
+    the storage-index id coincide; multi-attribute epochs (E15) bundle
+    one chunk run per attribute into a single dissemination wave, so each
+    chunk also names its attribute and that attribute's own index id
+    (``attr_sid`` — "shared epoch, per-attribute index ids").
+    """
 
     sid: int
     index: int
     total: int
     #: compacted entries: (value_lo, value_hi, owner)
     entries: Tuple[Tuple[int, int, int], ...]
+    #: attribute this chunk's entries map (one attribute per chunk).
+    attr: int = 0
+    #: the attribute's storage-index id; -1 = same as the epoch ``sid``
+    #: (the legacy single-attribute wire format).
+    attr_sid: int = -1
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.total:
             raise ValueError(f"chunk index {self.index} outside 0..{self.total - 1}")
 
+    @property
+    def index_sid(self) -> int:
+        """The storage-index id these entries belong to."""
+        return self.sid if self.attr_sid < 0 else self.attr_sid
+
     def wire_bytes(self) -> int:
-        return 4 + MAPPING_ENTRY_BYTES * len(self.entries)
+        # the multi-attribute format spends 3 extra bytes on the
+        # attribute id and its index id; the legacy format omits both.
+        tagged = 3 if (self.attr or self.attr_sid >= 0) else 0
+        return 4 + tagged + MAPPING_ENTRY_BYTES * len(self.entries)
 
 
 @dataclass
@@ -109,9 +177,14 @@ class DataMessage:
     sid: int
     hops: int = 0
     force_base: bool = False
+    #: attribute id of every reading in this batch (one attribute per
+    #: message; the owner was chosen by that attribute's index).
+    attr: int = 0
 
     def wire_bytes(self) -> int:
-        return 5 + READING_WIRE_BYTES * len(self.readings)
+        # single-attribute deployments use the paper's wire format (no
+        # attribute field); non-zero attributes spend one byte on the id.
+        return 5 + (1 if self.attr else 0) + READING_WIRE_BYTES * len(self.readings)
 
     def values(self) -> List[int]:
         return [v for v, _t, _p in self.readings]
@@ -136,6 +209,8 @@ class QueryMessage:
     #: configured capacity (``ScoopConfig.query_bitmap_bytes``): 16 bytes
     #: for the paper's 128-node implementation, 32 at 256 nodes.
     bitmap_bytes: int = DEFAULT_BITMAP_BYTES
+    #: attribute the query targets (0 = the legacy single attribute).
+    attr: int = 0
 
     def __post_init__(self) -> None:
         limit = self.bitmap_bytes * 8
@@ -145,13 +220,14 @@ class QueryMessage:
 
     def wire_bytes(self) -> int:
         # node bitmap + qid + time range + value range (+ filter bitmap,
-        # same width)
+        # same width) (+ attribute id beyond the legacy attribute 0)
         return (
             self.bitmap_bytes
             + 2
             + 8
             + 4
             + (self.bitmap_bytes if self.node_filter is not None else 0)
+            + (1 if self.attr else 0)
         )
 
     def matches(self, value: int, timestamp: float, producer: int = -1) -> bool:

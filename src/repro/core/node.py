@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.config import ScoopConfig
 from repro.core.histogram import Histogram
 from repro.core.messages import (
+    AttributeSummary,
     DataMessage,
     MappingChunk,
     QueryMessage,
@@ -41,7 +42,11 @@ from repro.core.messages import (
     SummaryMessage,
     WireReading,
 )
-from repro.core.storage_index import STORE_LOCAL, StorageIndex
+from repro.core.storage_index import (
+    STORE_LOCAL,
+    StorageIndex,
+    indexes_from_chunks,
+)
 from repro.sim.flash import Flash, RecentReadings, StoredReading
 from repro.sim.kernel import EventHandle, Simulator, Timer
 from repro.sim.metrics import DeliveryTracker
@@ -52,6 +57,22 @@ from repro.sim.trickle import Advertisement, ChunkDisseminator
 
 #: A reading producer: (node_id, now) -> raw value.
 DataSource = Callable[[int, float], int]
+
+#: A multi-attribute reading producer: (node_id, now, attr) -> raw value.
+MultiDataSource = Callable[[int, float, int], int]
+
+
+class _AttrBatch:
+    """Per-attribute batching state (Section 5.4): one open batch per
+    (attribute, destination owner)."""
+
+    __slots__ = ("readings", "owner", "sid", "deadline")
+
+    def __init__(self) -> None:
+        self.readings: List[WireReading] = []
+        self.owner: Optional[int] = None
+        self.sid: int = -1
+        self.deadline: Optional[EventHandle] = None
 
 
 class ScoopNode(Mote):
@@ -67,6 +88,7 @@ class ScoopNode(Mote):
         tracker: Optional[DeliveryTracker] = None,
         energy=None,
         is_root: bool = False,
+        multi_source: Optional[MultiDataSource] = None,
     ):
         super().__init__(
             node_id,
@@ -79,14 +101,23 @@ class ScoopNode(Mote):
         )
         self.config = config
         self.data_source = data_source
+        self.multi_source = multi_source
         self.tracker = tracker
         self.flash = Flash(
             capacity_readings=config.flash_capacity, meter=energy, node_id=node_id
         )
-        self.recent = RecentReadings(config.recent_readings_size)
+        #: per-attribute recent-readings rings; attribute 0's ring is also
+        #: exposed as the legacy ``recent``.
+        self._recent_by_attr: Dict[int, RecentReadings] = {
+            attr: RecentReadings(config.recent_readings_size)
+            for attr in config.attribute_ids
+        }
+        self.recent = self._recent_by_attr[0]
 
-        #: last *complete* storage index (None -> store locally).
-        self.current_index: Optional[StorageIndex] = None
+        #: last *complete* storage index per attribute (missing entry ->
+        #: store that attribute locally, Section 5.3). Attribute 0's slot
+        #: is also reachable through the legacy ``current_index`` property.
+        self._indexes: Dict[int, StorageIndex] = {}
         self.disseminator: ChunkDisseminator[MappingChunk] = ChunkDisseminator(
             sim,
             send_advert=self._send_advert,
@@ -115,11 +146,11 @@ class ScoopNode(Mote):
         self._was_sampling = False
         self.readings_since_summary = 0
 
-        # batching state (Section 5.4): one open batch per destination owner
-        self._batch: List[WireReading] = []
-        self._batch_owner: Optional[int] = None
-        self._batch_sid: int = -1
-        self._batch_deadline: Optional[EventHandle] = None
+        # batching state (Section 5.4): one open batch per attribute and
+        # destination owner (a batch carries one attribute's readings).
+        self._batches: Dict[int, _AttrBatch] = {
+            attr: _AttrBatch() for attr in config.attribute_ids
+        }
 
         # query gossip state (the paper's "modified version of Trickle"):
         # qid -> {heard-this-round, rounds-sent, pending timer}
@@ -132,10 +163,20 @@ class ScoopNode(Mote):
     def on_boot(self) -> None:
         self.disseminator.start()
 
+    def _require_sources(self) -> None:
+        """Fail fast at start_sampling (not mid-simulation) when the node
+        cannot read every registered attribute."""
+        if self.data_source is None and self.multi_source is None:
+            raise RuntimeError(f"node {self.node_id} has no data source")
+        if self.config.n_attributes > 1 and self.multi_source is None:
+            raise RuntimeError(
+                f"node {self.node_id}: a {self.config.n_attributes}-attribute "
+                "deployment needs a multi-attribute data source"
+            )
+
     def start_sampling(self) -> None:
         """Begin the measured workload (after tree stabilization)."""
-        if self.data_source is None:
-            raise RuntimeError(f"node {self.node_id} has no data source")
+        self._require_sources()
         if self.sampling:
             return
         self.sampling = True
@@ -152,22 +193,28 @@ class ScoopNode(Mote):
         self.sampling = False
         self._sample_timer.stop()
         self._summary_timer.stop()
-        self._flush_batch()
+        for attr in self._batches:
+            self._flush_batch(attr)
 
     def on_fail(self) -> None:
         """Node death: every timer stops and RAM-held work is lost — the
-        open batch dies unsent, gossip state evaporates. Flash survives
+        open batches die unsent, gossip state evaporates. Flash survives
         (its readings are simply unreachable while the node is dark)."""
         self._was_sampling = self.sampling
         self.sampling = False
         self._sample_timer.stop()
         self._summary_timer.stop()
-        if self._batch_deadline is not None:
-            self._batch_deadline.cancel()
-            self._batch_deadline = None
-        self._batch = []
-        self._batch_owner = None
-        self.recent = RecentReadings(self.config.recent_readings_size)
+        for batch in self._batches.values():
+            if batch.deadline is not None:
+                batch.deadline.cancel()
+                batch.deadline = None
+            batch.readings = []
+            batch.owner = None
+        self._recent_by_attr = {
+            attr: RecentReadings(self.config.recent_readings_size)
+            for attr in self.config.attribute_ids
+        }
+        self.recent = self._recent_by_attr[0]
         self.readings_since_summary = 0
         self.disseminator.stop()
         self._queries_heard.clear()
@@ -179,7 +226,7 @@ class ScoopNode(Mote):
         resumes sampling if it was sampling when it died — through
         ``start_sampling``, so policy overrides (LOCAL/BASE start no
         summary timer) keep their behaviour across a reboot."""
-        self.current_index = None
+        self._indexes = {}
         self.disseminator.reset()
         # Boot again through the policy's own hook: SCOOP restarts Trickle
         # dissemination, LOCAL/BASE (which override on_boot to skip it)
@@ -189,21 +236,54 @@ class ScoopNode(Mote):
             self.start_sampling()
 
     # ------------------------------------------------------------------
-    # Sampling and batching
+    # Storage indexes (per attribute)
     # ------------------------------------------------------------------
     @property
-    def sid(self) -> int:
-        return self.current_index.sid if self.current_index is not None else -1
+    def current_index(self) -> Optional[StorageIndex]:
+        """Attribute 0's last complete index (the legacy single-attribute
+        view; per-attribute lookup is :meth:`index_for`)."""
+        return self._indexes.get(0)
 
-    def _choose_owner(self, value: int) -> Optional[int]:
-        """Owner for ``value`` under the current index (None = no index).
+    @current_index.setter
+    def current_index(self, index: Optional[StorageIndex]) -> None:
+        if index is None:
+            self._indexes.pop(0, None)
+        else:
+            self._indexes[0] = index
+
+    def index_for(self, attr: int) -> Optional[StorageIndex]:
+        return self._indexes.get(attr)
+
+    def install_index(self, index: StorageIndex) -> None:
+        """Adopt ``index`` for its attribute if it is newer than what we
+        hold (nodes never step backwards, Section 5.3)."""
+        current = self._indexes.get(index.attr)
+        if current is None or index.sid > current.sid:
+            self._indexes[index.attr] = index
+            self.on_new_index(index)
+
+    @property
+    def sid(self) -> int:
+        return self.sid_for(0)
+
+    def sid_for(self, attr: int) -> int:
+        index = self._indexes.get(attr)
+        return index.sid if index is not None else -1
+
+    # ------------------------------------------------------------------
+    # Sampling and batching
+    # ------------------------------------------------------------------
+    def _choose_owner(self, value: int, attr: int = 0) -> Optional[int]:
+        """Owner for ``(attr, value)`` under that attribute's current
+        index (None = no index).
 
         With the owner-set extension a node prefers itself, then the
         closest owner in its neighbor list, then the first listed owner.
         """
-        if self.current_index is None:
+        index = self._indexes.get(attr)
+        if index is None:
             return None
-        owners = self.current_index.owners_of(value)
+        owners = index.owners_of(value)
         if STORE_LOCAL in owners or self.node_id in owners:
             return self.node_id
         if len(owners) == 1:
@@ -213,69 +293,96 @@ class ScoopNode(Mote):
             return max(in_reach, key=self.linkest.quality)
         return owners[0]
 
+    def _read_sensor(self, attr: int, now: float) -> int:
+        if self.multi_source is not None:
+            return self.multi_source(self.node_id, now, attr)
+        if attr != 0:
+            raise RuntimeError(
+                f"node {self.node_id} has no multi-attribute data source"
+            )
+        return self.data_source(self.node_id, now)
+
     def _sample(self) -> None:
-        if not self.sampling or self.data_source is None:
+        if not self.sampling or (
+            self.data_source is None and self.multi_source is None
+        ):
             return
         now = self.sim.now
-        value = self.config.domain.clamp(self.data_source(self.node_id, now))
-        self.recent.add(now, value)
-        self.readings_since_summary += 1
-        owner = self._choose_owner(value)
-        if self.tracker is not None:
-            self.tracker.reading_produced(
-                self.node_id, value, now, intended_owner=owner
-            )
-        if owner is None or owner == self.node_id:
-            # No index yet (store locally, Section 5.3) or we own the value.
-            self._store_reading((value, now, self.node_id))
-            return
-        self._add_to_batch((value, now, self.node_id), owner)
+        # One reading of every registered attribute per sample tick (the
+        # mote reads its whole sensor board at once).
+        for attr in self.config.attribute_ids:
+            value = self.config.domain_of(attr).clamp(self._read_sensor(attr, now))
+            self._recent_by_attr[attr].add(now, value)
+            if attr == 0:
+                self.readings_since_summary += 1
+            owner = self._choose_owner(value, attr)
+            if self.tracker is not None:
+                self.tracker.reading_produced(
+                    self.node_id, value, now, intended_owner=owner, attr=attr
+                )
+            if owner is None or owner == self.node_id:
+                # No index yet (store locally, Section 5.3) or we own it.
+                self._store_reading((value, now, self.node_id), attr)
+                continue
+            self._add_to_batch((value, now, self.node_id), owner, attr)
 
-    def _add_to_batch(self, reading: WireReading, owner: int) -> None:
-        if self._batch and self._batch_owner != owner:
+    def _add_to_batch(self, reading: WireReading, owner: int, attr: int = 0) -> None:
+        batch = self._batches[attr]
+        if batch.readings and batch.owner != owner:
             # "As soon as a node produces data for another node ... the
             # message is sent."
-            self._flush_batch()
-        if not self._batch:
-            self._batch_owner = owner
-            self._batch_sid = self.sid
-            self._batch_deadline = self.sim.schedule(
-                self.config.batch_flush_timeout, self._flush_batch
+            self._flush_batch(attr)
+        if not batch.readings:
+            batch.owner = owner
+            batch.sid = self.sid_for(attr)
+            batch.deadline = self.sim.schedule(
+                self.config.batch_flush_timeout, self._flush_batch, attr
             )
-        self._batch.append(reading)
-        if len(self._batch) >= self.config.batch_size:
-            self._flush_batch()
+        batch.readings.append(reading)
+        if len(batch.readings) >= self.config.batch_size:
+            self._flush_batch(attr)
 
-    def _flush_batch(self) -> None:
-        if self._batch_deadline is not None:
-            self._batch_deadline.cancel()
-            self._batch_deadline = None
-        if not self._batch or self._batch_owner is None:
-            self._batch = []
+    def _flush_batch(self, attr: int = 0) -> None:
+        batch = self._batches[attr]
+        if batch.deadline is not None:
+            batch.deadline.cancel()
+            batch.deadline = None
+        if not batch.readings or batch.owner is None:
+            batch.readings = []
             return
         message = DataMessage(
-            readings=list(self._batch), owner=self._batch_owner, sid=self._batch_sid
+            readings=list(batch.readings),
+            owner=batch.owner,
+            sid=batch.sid,
+            attr=attr,
         )
-        self._batch = []
-        self._batch_owner = None
+        batch.readings = []
+        batch.owner = None
         self.route_data(message)
 
     # ------------------------------------------------------------------
     # Data routing (the six rules)
     # ------------------------------------------------------------------
-    def _store_reading(self, reading: WireReading) -> None:
+    def _store_reading(self, reading: WireReading, attr: int = 0) -> None:
         value, timestamp, producer = reading
         self.flash.store(
-            StoredReading(origin=producer, value=value, timestamp=timestamp)
+            StoredReading(
+                origin=producer, value=value, timestamp=timestamp, attr=attr
+            )
         )
         if self.tracker is not None:
             self.tracker.reading_stored(
-                producer, value, timestamp, stored_at=self.node_id, time=self.sim.now
+                producer,
+                value,
+                timestamp,
+                stored_at=self.node_id,
+                time=self.sim.now,
+                attr=attr,
             )
 
     def _store_message(self, message: DataMessage) -> None:
         for reading in message.readings:
-            self._store_reading(reading)
+            self._store_reading(reading, message.attr)
 
     #: minimum snooped link quality for the rule-3 neighbor shortcut; the
     #: neighbor list also contains barely audible nodes, and burning six
@@ -289,24 +396,27 @@ class ScoopNode(Mote):
         ``from_node`` is the link sender we received it from (None when we
         produced it); it breaks stale-descendant ping-pong loops.
         """
-        # Rule 1: a newer index rewrites owner and sid. A batch whose
-        # values now map to different owners is split per new owner.
+        # Rule 1: a newer index (for the batch's attribute) rewrites owner
+        # and sid. A batch whose values now map to different owners is
+        # split per new owner.
+        index = self.index_for(message.attr)
         if (
             not message.force_base
-            and self.current_index is not None
-            and self.current_index.sid > message.sid
+            and index is not None
+            and index.sid > message.sid
         ):
             regrouped: Dict[int, List[WireReading]] = {}
             for reading in message.readings:
-                owner = self._choose_owner(reading[0])
+                owner = self._choose_owner(reading[0], message.attr)
                 regrouped.setdefault(owner, []).append(reading)
             for owner, readings in regrouped.items():
                 self._route_by_rules(
                     DataMessage(
                         readings=readings,
                         owner=owner,
-                        sid=self.sid,
+                        sid=index.sid,
                         hops=message.hops,
+                        attr=message.attr,
                     ),
                     from_node,
                 )
@@ -376,6 +486,7 @@ class ScoopNode(Mote):
                     sid=message.sid,
                     hops=message.hops,
                     force_base=message.force_base,
+                    attr=message.attr,
                 )
                 self._transmit_data(retry, self.tree.parent, fallback_to_parent=False)
             # else: dropped; shows up as storage loss (paper: ~93% success).
@@ -385,20 +496,39 @@ class ScoopNode(Mote):
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
-    def _build_summary(self) -> SummaryMessage:
-        values = self.recent.values()
+    def _attr_summary_block(self, attr: int) -> "AttributeSummary":
+        values = self._recent_by_attr[attr].values()
         histogram = (
             Histogram.from_values(values, self.config.n_bins) if values else None
         )
-        return SummaryMessage(
-            origin=self.node_id,
+        return AttributeSummary(
+            attr=attr,
             histogram=histogram,
             min_value=min(values) if values else 0,
             max_value=max(values) if values else 0,
             sum_values=sum(values) if values else 0,
+            last_sid=self.sid_for(attr),
+        )
+
+    def _build_summary(self) -> SummaryMessage:
+        head = self._attr_summary_block(0)
+        return SummaryMessage(
+            origin=self.node_id,
+            histogram=head.histogram,
+            min_value=head.min_value,
+            max_value=head.max_value,
+            sum_values=head.sum_values,
             readings_since_last=self.readings_since_summary,
             neighbors=tuple(self.linkest.best_neighbors(self.config.summary_neighbors)),
-            last_sid=self.sid,
+            last_sid=head.last_sid,
+            # one block per further attribute rides in the same packet —
+            # bytes, not messages, which keeps Scoop's maintenance cost
+            # sublinear in the attribute count (E15).
+            extra=tuple(
+                self._attr_summary_block(attr)
+                for attr in self.config.attribute_ids
+                if attr != 0
+            ),
         )
 
     def _send_summary(self) -> None:
@@ -420,13 +550,16 @@ class ScoopNode(Mote):
         self.broadcast(FrameKind.MAPPING, chunk)
 
     def _index_complete(self, sid: int, chunks: List[MappingChunk]) -> None:
+        domains = {
+            attr: self.config.domain_of(attr)
+            for attr in self.config.attribute_ids
+        }
         try:
-            index = StorageIndex.from_chunks(self.config.domain, chunks)
+            rebuilt = indexes_from_chunks(domains, chunks)
         except ValueError:
-            return  # malformed chunk set; keep the old index (Section 5.3)
-        if self.current_index is None or index.sid > self.current_index.sid:
-            self.current_index = index
-            self.on_new_index(index)
+            return  # malformed chunk set; keep the old indexes (Section 5.3)
+        for index in rebuilt.values():
+            self.install_index(index)
 
     def on_new_index(self, index: StorageIndex) -> None:
         """Subclass/observer hook: a new complete index was installed."""
@@ -447,6 +580,7 @@ class ScoopNode(Mote):
                     sid=message.sid,
                     hops=message.hops,
                     force_base=message.force_base,
+                    attr=message.attr,
                 ),
                 from_node=frame.src,
             )
@@ -561,6 +695,7 @@ class ScoopNode(Mote):
                 if query.node_filter is not None
                 else None
             ),
+            attr=query.attr,
         )
         readings: List[WireReading] = [
             (r.value, r.timestamp, r.origin) for r in matches

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.config import ScoopConfig, ValueDomain
-from repro.core.messages import SummaryMessage
+from repro.core.messages import AttributeSummary, SummaryMessage
 
 
 @dataclass
@@ -44,6 +44,18 @@ class NodeRecord:
     #: EWMA of readings per second.
     data_rate: float = 0.0
     #: (report_time, sid) history — which index the node said it was using.
+    sid_history: List[Tuple[float, int]] = field(default_factory=list)
+
+
+@dataclass
+class AttrNodeRecord:
+    """Per-(attribute, node) statistics: the attribute's latest summary
+    block and which of that attribute's indexes the node reported using."""
+
+    node: int
+    last_block: Optional[AttributeSummary] = None
+    last_time: float = -1.0
+    #: (report_time, sid) history for this attribute's index stream.
     sid_history: List[Tuple[float, int]] = field(default_factory=list)
 
 
@@ -107,7 +119,19 @@ class BasestationStatistics:
         #: nodes silent for ``node_staleness_intervals`` summary
         #: intervals (the paper's node-death recovery, Section 6).
         self.last_heard: Dict[int, float] = {}
-        self.queries = QueryStatistics(self.domain)
+        #: per-attribute query statistics; attribute 0's instance is also
+        #: exposed as the legacy ``queries`` attribute.
+        self._queries_by_attr: Dict[int, QueryStatistics] = {
+            attr: QueryStatistics(config.domain_of(attr))
+            for attr in config.attribute_ids
+        }
+        self.queries = self._queries_by_attr[0]
+        #: per-attribute per-node block records; attribute 0 is mirrored
+        #: into the legacy ``records`` (same summary objects), so the
+        #: single-attribute API keeps working unchanged.
+        self._attr_records: Dict[int, Dict[int, AttrNodeRecord]] = {
+            attr: {} for attr in config.attribute_ids
+        }
         self.summaries_lost_guess = 0
 
     @property
@@ -156,6 +180,18 @@ class BasestationStatistics:
         record.summaries_received += 1
         record.sid_history.append((now, summary.last_sid))
         self.summary_history.append((now, summary))
+        # Per-attribute blocks (attribute 0's block mirrors the legacy
+        # scalar fields; further attributes ride in ``summary.extra``).
+        for block in summary.blocks():
+            per_node = self._attr_records.get(block.attr)
+            if per_node is None:
+                continue  # block for an attribute this config doesn't know
+            attr_record = per_node.setdefault(
+                summary.origin, AttrNodeRecord(node=summary.origin)
+            )
+            attr_record.last_block = block
+            attr_record.last_time = now
+            attr_record.sid_history.append((now, block.last_sid))
         # Topology: the summary lists origin's best inbound neighbors, i.e.
         # delivery estimates for links (neighbor -> origin).
         for neighbor, quality in summary.neighbors:
@@ -178,8 +214,20 @@ class BasestationStatistics:
                 self.last_heard.get(origin_parent, -math.inf), now
             )
 
-    def record_query(self, value_range: Optional[Tuple[int, int]], now: float) -> None:
-        self.queries.record(value_range, now)
+    def record_query(
+        self, value_range: Optional[Tuple[int, int]], now: float, attr: int = 0
+    ) -> None:
+        self.queries_for(attr).record(value_range, now)
+
+    def queries_for(self, attr: int) -> QueryStatistics:
+        """The named attribute's query statistics (0 = legacy stream)."""
+        try:
+            return self._queries_by_attr[attr]
+        except KeyError:
+            raise ValueError(
+                f"attribute id {attr} outside registry of "
+                f"{len(self._queries_by_attr)}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Views for the indexing algorithm
@@ -202,16 +250,19 @@ class BasestationStatistics:
             nodes.add(b)
         return sorted(node for node in nodes if self._fresh(node, now))
 
-    def producer_nodes(self, now: Optional[float] = None) -> List[int]:
-        """Nodes with a usable histogram (the p's of the algorithm).
+    def producer_nodes(
+        self, now: Optional[float] = None, attr: int = 0
+    ) -> List[int]:
+        """Nodes with a usable histogram for ``attr`` (the p's of the
+        algorithm).
 
         With ``now``, staleness-evicted nodes are excluded (see
         :meth:`known_nodes`)."""
         return sorted(
             node
-            for node, record in self.records.items()
-            if record.last_summary is not None
-            and record.last_summary.histogram is not None
+            for node, record in self._attr_records[attr].items()
+            if record.last_block is not None
+            and record.last_block.histogram is not None
             and self._fresh(node, now)
         )
 
@@ -221,25 +272,35 @@ class BasestationStatistics:
         reassigned at the next remap."""
         return {node for node in self.last_heard if not self._fresh(node, now)}
 
-    def production_matrix(self, producers: Sequence[int]) -> np.ndarray:
-        """Rows of P(p -> v) over the whole domain, one per producer."""
-        matrix = np.zeros((len(producers), self.domain.size))
+    def production_matrix(
+        self, producers: Sequence[int], attr: int = 0
+    ) -> np.ndarray:
+        """Rows of P(p -> v) over ``attr``'s whole domain, one per
+        producer."""
+        domain = self.config.domain_of(attr)
+        matrix = np.zeros((len(producers), domain.size))
+        per_node = self._attr_records[attr]
         for row, node in enumerate(producers):
-            summary = self.records[node].last_summary
-            if summary is not None and summary.histogram is not None:
-                matrix[row] = summary.histogram.probability_vector(
-                    self.domain.lo, self.domain.hi
+            record = per_node.get(node)
+            block = record.last_block if record is not None else None
+            if block is not None and block.histogram is not None:
+                matrix[row] = block.histogram.probability_vector(
+                    domain.lo, domain.hi
                 )
         return matrix
 
     def rate_vector(self, producers: Sequence[int]) -> np.ndarray:
+        """Per-producer readings/second. Attributes are sampled together
+        (one reading of each per sample tick), so one rate serves every
+        attribute."""
         return np.array([self.records[node].data_rate for node in producers])
 
     # ------------------------------------------------------------------
     # Historical index usage (query planning, Section 5.5)
     # ------------------------------------------------------------------
-    def sids_in_use(self, t_lo: float, t_hi: float) -> Set[int]:
-        """Index IDs some node may have been using during [t_lo, t_hi].
+    def sids_in_use(self, t_lo: float, t_hi: float, attr: int = 0) -> Set[int]:
+        """Index IDs some node may have been using for ``attr`` during
+        [t_lo, t_hi].
 
         A node's reports bracket the window: the last sid reported at or
         before t_hi could have been in use, and so could any sid reported
@@ -247,44 +308,54 @@ class BasestationStatistics:
         index yet (it was storing locally).
         """
         in_use: Set[int] = set()
-        for record in self.records.values():
+        per_node = self._attr_records[attr]
+        for node in self.records:
+            record = per_node.get(node)
+            history = record.sid_history if record is not None else []
             last_before: Optional[int] = None
-            for time, sid in record.sid_history:
+            for time, sid in history:
                 if time <= t_lo:
                     last_before = sid
                 elif time <= t_hi + self.config.summary_interval:
                     in_use.add(sid)
             if last_before is not None:
                 in_use.add(last_before)
-            if not record.sid_history:
+            if not history:
                 in_use.add(-1)
         if not self.records:
             in_use.add(-1)
         return in_use
 
     def nodes_possibly_storing_locally(
-        self, value_range: Optional[Tuple[int, int]], t_lo: float, t_hi: float
+        self,
+        value_range: Optional[Tuple[int, int]],
+        t_lo: float,
+        t_hi: float,
+        attr: int = 0,
     ) -> Set[int]:
-        """Nodes that may hold matching data *locally* during the window
-        because they had no complete index (last_sid == -1).
+        """Nodes that may hold matching ``attr`` data *locally* during the
+        window because they had no complete index (last_sid == -1).
 
         Their summaries' [min, max] bound what they produce, so nodes whose
         recent range cannot overlap the query are excluded.
         """
         out: Set[int] = set()
-        for node, record in self.records.items():
+        per_node = self._attr_records[attr]
+        for node in self.records:
+            record = per_node.get(node)
+            history = record.sid_history if record is not None else []
             reported = [
                 sid
-                for time, sid in record.sid_history
+                for time, sid in history
                 if time <= t_hi + self.config.summary_interval
             ]
             if reported and all(sid >= 0 for sid in reported[-2:]):
                 continue  # had an index throughout the window
-            summary = record.last_summary
-            if value_range is not None and summary is not None:
+            block = record.last_block if record is not None else None
+            if value_range is not None and block is not None:
                 if (
-                    summary.max_value < value_range[0]
-                    or summary.min_value > value_range[1]
+                    block.max_value < value_range[0]
+                    or block.min_value > value_range[1]
                 ):
                     continue
             out.add(node)
@@ -293,15 +364,23 @@ class BasestationStatistics:
     # ------------------------------------------------------------------
     # Summary-based query answering (Section 5.5 optimization)
     # ------------------------------------------------------------------
-    def max_value_seen(self, since: float = 0.0) -> Optional[int]:
+    def max_value_seen(self, since: float = 0.0, attr: int = 0) -> Optional[int]:
         """Answer MAX(attr) from summaries, costing no network traffic."""
         candidates = [
-            s.max_value for t, s in self.summary_history if t >= since
+            block.max_value
+            for t, s in self.summary_history
+            if t >= since
+            for block in s.blocks()
+            if block.attr == attr
         ]
         return max(candidates) if candidates else None
 
-    def min_value_seen(self, since: float = 0.0) -> Optional[int]:
+    def min_value_seen(self, since: float = 0.0, attr: int = 0) -> Optional[int]:
         candidates = [
-            s.min_value for t, s in self.summary_history if t >= since
+            block.min_value
+            for t, s in self.summary_history
+            if t >= since
+            for block in s.blocks()
+            if block.attr == attr
         ]
         return min(candidates) if candidates else None

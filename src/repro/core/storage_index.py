@@ -24,7 +24,7 @@ while chunks of a newer index trickle in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.config import ValueDomain
 from repro.core.messages import MAX_ENTRIES_PER_CHUNK, MappingChunk
@@ -59,6 +59,7 @@ class StorageIndex:
         sid: int,
         domain: ValueDomain,
         owners: Sequence[Tuple[int, ...]],
+        attr: int = 0,
     ):
         if len(owners) != domain.size:
             raise ValueError(
@@ -70,6 +71,8 @@ class StorageIndex:
                 raise ValueError("every value needs at least one owner")
         self.sid = sid
         self.domain = domain
+        #: attribute this index maps (0 = the legacy single attribute).
+        self.attr = attr
         self._owners: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(o) for o in owners
         )
@@ -79,14 +82,28 @@ class StorageIndex:
     # ------------------------------------------------------------------
     @classmethod
     def single_owner(
-        cls, sid: int, domain: ValueDomain, owner_by_value: Sequence[int]
+        cls,
+        sid: int,
+        domain: ValueDomain,
+        owner_by_value: Sequence[int],
+        attr: int = 0,
     ) -> "StorageIndex":
-        return cls(sid, domain, [(o,) for o in owner_by_value])
+        return cls(sid, domain, [(o,) for o in owner_by_value], attr=attr)
 
     @classmethod
-    def uniform(cls, sid: int, domain: ValueDomain, owner: int) -> "StorageIndex":
+    def uniform(
+        cls, sid: int, domain: ValueDomain, owner: int, attr: int = 0
+    ) -> "StorageIndex":
         """Every value mapped to one node (owner=0 gives send-to-base)."""
-        return cls(sid, domain, [(owner,)] * domain.size)
+        return cls(sid, domain, [(owner,)] * domain.size, attr=attr)
+
+    def with_sid(self, sid: int) -> "StorageIndex":
+        """This mapping re-stamped with a different index id (the
+        basestation assigns final ids only to indexes it accepts for
+        dissemination). Returns ``self`` when the id already matches."""
+        if sid == self.sid:
+            return self
+        return StorageIndex(sid, self.domain, self._owners, attr=self.attr)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -135,16 +152,23 @@ class StorageIndex:
         entries.append(RangeEntry(lo=start, hi=self.domain.hi, owners=current))
         return entries
 
-    def to_chunks(self, max_entries: int = MAX_ENTRIES_PER_CHUNK) -> List[MappingChunk]:
-        """Split the compacted index into dissemination chunks.
-
-        Owner sets are flattened into one wire entry per (range, owner)
-        pair, the same 5-byte row as the single-owner format.
-        """
+    def _wire_rows(self) -> List[Tuple[int, int, int]]:
+        """Compacted (lo, hi, owner) wire rows, one per (range, owner)."""
         rows: List[Tuple[int, int, int]] = []
         for entry in self.compact():
             for owner in entry.owners:
                 rows.append((entry.lo, entry.hi, owner))
+        return rows
+
+    def to_chunks(self, max_entries: int = MAX_ENTRIES_PER_CHUNK) -> List[MappingChunk]:
+        """Split the compacted index into dissemination chunks.
+
+        Owner sets are flattened into one wire entry per (range, owner)
+        pair, the same 5-byte row as the single-owner format. This is the
+        legacy single-index chunking (epoch == index id); multi-attribute
+        epochs are assembled by :func:`chunk_index_set`.
+        """
+        rows = self._wire_rows()
         total = max(1, (len(rows) + max_entries - 1) // max_entries)
         chunks = []
         for k in range(total):
@@ -169,7 +193,12 @@ class StorageIndex:
             raise ValueError("no chunks")
         sid = chunk_list[0].sid
         total = chunk_list[0].total
-        if any(c.sid != sid or c.total != total for c in chunk_list):
+        attr = chunk_list[0].attr
+        index_sid = chunk_list[0].index_sid
+        if any(
+            c.sid != sid or c.total != total or c.attr != attr
+            for c in chunk_list
+        ):
             raise ValueError("chunks from different indices")
         if [c.index for c in chunk_list] != list(range(total)):
             raise ValueError("missing or duplicate chunks")
@@ -183,7 +212,7 @@ class StorageIndex:
                         owner_sets[v - domain.lo].append(owner)
         if any(not owners for owners in owner_sets):
             raise ValueError("chunk set does not cover the whole domain")
-        return cls(sid, domain, [tuple(o) for o in owner_sets])
+        return cls(index_sid, domain, [tuple(o) for o in owner_sets], attr=attr)
 
     # ------------------------------------------------------------------
     # Comparison
@@ -207,15 +236,114 @@ class StorageIndex:
         return (
             isinstance(other, StorageIndex)
             and self.sid == other.sid
+            and self.attr == other.attr
             and self.domain == other.domain
             and self._owners == other._owners
         )
 
     def __hash__(self) -> int:
-        return hash((self.sid, self.domain, self._owners))
+        return hash((self.sid, self.attr, self.domain, self._owners))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"StorageIndex(sid={self.sid}, domain=[{self.domain.lo},"
-            f"{self.domain.hi}], ranges={len(self.compact())})"
+            f"StorageIndex(sid={self.sid}, attr={self.attr}, "
+            f"domain=[{self.domain.lo},{self.domain.hi}], "
+            f"ranges={len(self.compact())})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared-epoch chunking (E15): one Trickle wave carries every attribute
+# ----------------------------------------------------------------------
+
+def chunk_index_set(
+    epoch: int,
+    indexes: Mapping[int, StorageIndex],
+    max_entries: int = MAX_ENTRIES_PER_CHUNK,
+) -> List[MappingChunk]:
+    """Chunk a whole per-attribute index set into ONE dissemination epoch.
+
+    Every remap disseminates the complete current mapping — all
+    attributes, changed or not — under a single Trickle version
+    (``epoch``), so the gossip cost of k attributes is one wave, not k.
+    Chunks never span attributes (a chunk carries one ``attr`` tag and
+    that attribute's own index id), and chunk indices number the whole
+    epoch consecutively so the disseminator's completeness bitmap works
+    unchanged.
+    """
+    rows_by_attr = [
+        (attr, indexes[attr]._wire_rows(), indexes[attr].sid)
+        for attr in sorted(indexes)
+    ]
+    counts = [
+        max(1, (len(rows) + max_entries - 1) // max_entries)
+        for _a, rows, _s in rows_by_attr
+    ]
+    total = sum(counts)
+    chunks: List[MappingChunk] = []
+    position = 0
+    for (attr, rows, attr_sid), n_chunks in zip(rows_by_attr, counts):
+        for k in range(n_chunks):
+            chunks.append(
+                MappingChunk(
+                    sid=epoch,
+                    index=position,
+                    total=total,
+                    entries=tuple(rows[k * max_entries : (k + 1) * max_entries]),
+                    attr=attr,
+                    attr_sid=attr_sid,
+                )
+            )
+            position += 1
+    return chunks
+
+
+def indexes_from_chunks(
+    domains: Mapping[int, ValueDomain], chunks: Iterable[MappingChunk]
+) -> Dict[int, StorageIndex]:
+    """Reassemble a complete epoch's chunk set into per-attribute indexes.
+
+    ``domains`` maps attribute id -> configured domain
+    (``ScoopConfig.domain_of``). Raises ``ValueError`` on missing or
+    duplicate chunks, mixed epochs, unknown attributes, or incomplete
+    per-attribute domain coverage — nodes must never act on a partial
+    index (Section 5.3).
+    """
+    chunk_list = sorted(chunks, key=lambda c: c.index)
+    if not chunk_list:
+        raise ValueError("no chunks")
+    epoch = chunk_list[0].sid
+    total = chunk_list[0].total
+    if any(c.sid != epoch or c.total != total for c in chunk_list):
+        raise ValueError("chunks from different epochs")
+    if [c.index for c in chunk_list] != list(range(total)):
+        raise ValueError("missing or duplicate chunks")
+    out: Dict[int, StorageIndex] = {}
+    by_attr: Dict[int, List[MappingChunk]] = {}
+    for chunk in chunk_list:
+        by_attr.setdefault(chunk.attr, []).append(chunk)
+    for attr, group in by_attr.items():
+        if attr not in domains:
+            raise ValueError(f"chunks for unknown attribute {attr}")
+        domain = domains[attr]
+        attr_sid = group[0].index_sid
+        if any(c.index_sid != attr_sid for c in group):
+            raise ValueError(f"attribute {attr} chunks mix index ids")
+        owner_sets: List[List[int]] = [[] for _ in range(domain.size)]
+        for chunk in group:
+            for lo, hi, owner in chunk.entries:
+                if lo < domain.lo or hi > domain.hi:
+                    raise ValueError(
+                        f"range [{lo},{hi}] outside attribute {attr} domain"
+                    )
+                for v in range(lo, hi + 1):
+                    if owner not in owner_sets[v - domain.lo]:
+                        owner_sets[v - domain.lo].append(owner)
+        if any(not owners for owners in owner_sets):
+            raise ValueError(
+                f"chunk set does not cover attribute {attr}'s domain"
+            )
+        out[attr] = StorageIndex(
+            attr_sid, domain, [tuple(o) for o in owner_sets], attr=attr
+        )
+    return out

@@ -39,10 +39,15 @@ def default_analytical(spec: ExperimentSpec) -> bool:
     """Whether this spec is evaluated analytically by default.
 
     The paper evaluates HASH analytically ("we evaluate the cost of this
-    HASH approach analytically"); set ``REPRO_HASH_SIMULATED=1`` to run
-    the simulated HASH extension instead.
+    HASH approach analytically"); set ``REPRO_HASH_SIMULATED=1`` — or the
+    spec's ``hash_simulated`` flag (the E15 grid does) — to run the
+    simulated HASH extension instead.
     """
-    return spec.policy == "hash" and not os.environ.get("REPRO_HASH_SIMULATED")
+    return (
+        spec.policy == "hash"
+        and not spec.hash_simulated
+        and not os.environ.get("REPRO_HASH_SIMULATED")
+    )
 
 
 @dataclass

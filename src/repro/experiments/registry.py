@@ -25,7 +25,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-from repro.baselines.hash_static import HashBasestation, HashNode, build_hash_index
+from repro.baselines.hash_static import (
+    HashBasestation,
+    HashNode,
+    build_hash_indexes,
+)
 from repro.baselines.local import LocalBasestation, LocalNode
 from repro.baselines.send_base import SendToBaseBasestation, SendToBaseNode
 from repro.core.basestation import Basestation
@@ -94,13 +98,20 @@ def _common(spec: "ExperimentSpec", net: "Network") -> Dict[str, object]:
     return dict(config=spec.scoop, tracker=net.tracker, energy=net.energy)
 
 
+def _sources(workload) -> Dict[str, object]:
+    """Per-node sensor hookup: the legacy single-attribute source plus
+    the (attribute-aware) multi source every workload exposes."""
+    return dict(
+        data_source=workload.as_data_source(), multi_source=workload.sample_attr
+    )
+
+
 @register_policy("scoop")
 def _build_scoop(spec, net, workload):
     common = _common(spec, net)
-    source = workload.as_data_source()
     base = Basestation(net.sim, net.radio, **common)
     nodes = [
-        ScoopNode(i, net.sim, net.radio, data_source=source, **common)
+        ScoopNode(i, net.sim, net.radio, **_sources(workload), **common)
         for i in spec.scoop.sensor_ids
     ]
     return base, nodes
@@ -109,10 +120,9 @@ def _build_scoop(spec, net, workload):
 @register_policy("local")
 def _build_local(spec, net, workload):
     common = _common(spec, net)
-    source = workload.as_data_source()
     base = LocalBasestation(net.sim, net.radio, **common)
     nodes = [
-        LocalNode(i, net.sim, net.radio, data_source=source, **common)
+        LocalNode(i, net.sim, net.radio, **_sources(workload), **common)
         for i in spec.scoop.sensor_ids
     ]
     return base, nodes
@@ -121,10 +131,9 @@ def _build_local(spec, net, workload):
 @register_policy("base")
 def _build_send_to_base(spec, net, workload):
     common = _common(spec, net)
-    source = workload.as_data_source()
     base = SendToBaseBasestation(net.sim, net.radio, **common)
     nodes = [
-        SendToBaseNode(i, net.sim, net.radio, data_source=source, **common)
+        SendToBaseNode(i, net.sim, net.radio, **_sources(workload), **common)
         for i in spec.scoop.sensor_ids
     ]
     return base, nodes
@@ -133,11 +142,17 @@ def _build_send_to_base(spec, net, workload):
 @register_policy("hash")
 def _build_hash(spec, net, workload):
     common = _common(spec, net)
-    source = workload.as_data_source()
-    index = build_hash_index(spec.scoop, salt=spec.seed)
-    base = HashBasestation(net.sim, net.radio, hash_index=index, **common)
+    indexes = build_hash_indexes(spec.scoop, salt=spec.seed)
+    base = HashBasestation(net.sim, net.radio, hash_indexes=indexes, **common)
     nodes = [
-        HashNode(i, net.sim, net.radio, data_source=source, hash_index=index, **common)
+        HashNode(
+            i,
+            net.sim,
+            net.radio,
+            hash_indexes=indexes,
+            **_sources(workload),
+            **common,
+        )
         for i in spec.scoop.sensor_ids
     ]
     return base, nodes

@@ -42,7 +42,13 @@ from repro.sim.topology import (
     near_square_grid,
     random_geometric,
 )
-from repro.workloads import WORKLOAD_NAMES, Workload, make_workload
+from repro.experiments.oracle import score_trial
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    MultiAttributeWorkload,
+    Workload,
+    make_workload,
+)
 from repro.workloads.queries import QueryGenerator, QueryPlanConfig
 
 #: The storage policies of the paper's experiments (Section 6 table). The
@@ -59,8 +65,11 @@ TOPOLOGY_KINDS = ("testbed", "geometric", "line", "grid")
 #: garbage. v2: results carry a structured :class:`TrialMetrics` record
 #: and keys are salted with the source-tree hash (:mod:`.salt`). v3:
 #: specs grew churn fields (E14), metrics grew the data-survival
-#: breakdown, results grew ``retrieval_completeness``.
-SPEC_SCHEMA_VERSION = 3
+#: breakdown, results grew ``retrieval_completeness``. v4: the
+#: multi-attribute schema (E15) — configs carry an attribute registry,
+#: query plans an attribute count, and metrics per-attribute counters
+#: plus the query-oracle scorecard.
+SPEC_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -95,6 +104,12 @@ class ExperimentSpec:
     #: duration — relative, so time-scaled runs keep the same churn
     #: dynamics.
     churn_downtime_frac: float = 0.25
+    #: Run the HASH policy through the full simulator instead of the
+    #: paper's analytical model. The multi-attribute grid (E15) sets
+    #: this so every cell carries the same structured metrics
+    #: (per-attribute counters, oracle scorecard); the paper scenarios
+    #: keep the analytical evaluation.
+    hash_simulated: bool = False
 
     def __post_init__(self) -> None:
         if not is_registered(self.policy):
@@ -256,6 +271,28 @@ def scale_spec(spec: ExperimentSpec, factor: float) -> ExperimentSpec:
     return dataclasses.replace(spec, scoop=scoop)
 
 
+def build_workload(spec: ExperimentSpec, topology: Topology) -> Workload:
+    """The trial's data source: the named single-attribute family, or the
+    correlated multi-attribute wrapper when the config registers several
+    attributes (E15)."""
+    config = spec.scoop
+    if config.n_attributes > 1:
+        return MultiAttributeWorkload(
+            spec.workload,
+            config.attribute_specs,
+            config.n_nodes,
+            seed=spec.seed,
+            positions=topology.positions,
+        )
+    return make_workload(
+        spec.workload,
+        config.domain,
+        config.n_nodes,
+        seed=spec.seed,
+        positions=topology.positions,
+    )
+
+
 def build_topology(spec: ExperimentSpec) -> Topology:
     n = spec.scoop.n_nodes
     if spec.topology_kind == "testbed":
@@ -333,13 +370,7 @@ def run_experiment(
             f"topology has {topo.n} nodes but config expects {config.n_nodes}"
         )
     net = Network(topo, seed=spec.seed)
-    workload = make_workload(
-        spec.workload,
-        config.domain,
-        config.n_nodes,
-        seed=spec.seed,
-        positions=topo.positions,
-    )
+    workload = build_workload(spec, topo)
     base, nodes = build_motes(spec, net, workload)
 
     # Failure injection (E14): arm the churn schedule before anything
@@ -358,11 +389,17 @@ def run_experiment(
         node.start_sampling()
     base.start_scoop()
 
+    if spec.query_plan.n_attributes > config.n_attributes:
+        raise ValueError(
+            f"query plan names {spec.query_plan.n_attributes} attributes but "
+            f"the config registers {config.n_attributes}"
+        )
     generator = QueryGenerator(
         spec.query_plan,
         config.domain,
         list(config.sensor_ids),
         rng=net.sim.rng,
+        attribute_domains=[config.domain_of(a) for a in config.attribute_ids],
     )
     queries_issued = 0
 
@@ -401,6 +438,9 @@ def _collect(
     tracker = net.tracker
     root = spec.scoop.basestation_id
     targeted = [len(q.nodes_targeted) for q in base.query_log]
+    # Ground-truth oracle scorecard: exact per-query answer sets replayed
+    # from the tracker, plus per-attribute planner/delivery counters.
+    oracle, attributes = score_trial(base.query_log, tracker, spec.scoop)
     metrics = TrialMetrics.collect(
         census,
         net.energy,
@@ -409,6 +449,8 @@ def _collect(
         sim_time_s=net.sim.now,
         wall_clock_s=wall_clock_s,
         tracker=tracker,
+        attributes=attributes,
+        oracle=oracle,
     )
     return ExperimentResult(
         spec=spec,
@@ -438,20 +480,18 @@ def run_hash_analytical(
     """The paper's analytical HASH evaluation over the same workload."""
     config = spec.scoop
     topo = topology if topology is not None else build_topology(spec)
-    workload = make_workload(
-        spec.workload,
-        config.domain,
-        config.n_nodes,
-        seed=spec.seed,
-        positions=topo.positions,
-    )
+    workload = build_workload(spec, topo)
     model = AnalyticalHashModel(topo, config, salt=spec.seed)
     estimate = model.estimate(
         workload, spec.query_plan, config.duration, seed=spec.seed
     )
     spec_out = dataclasses.replace(spec, policy="hash")
     n_queries = int(config.duration / config.query_interval)
-    n_samples = (config.n_nodes - 1) * int(config.duration / config.sample_interval)
+    n_samples = (
+        (config.n_nodes - 1)
+        * config.n_attributes
+        * int(config.duration / config.sample_interval)
+    )
     return ExperimentResult(
         spec=spec_out,
         breakdown=estimate.breakdown(),

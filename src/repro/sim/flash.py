@@ -36,6 +36,8 @@ class StoredReading:
     origin: int
     value: int
     timestamp: float
+    #: attribute the value belongs to (0 = the legacy single attribute).
+    attr: int = 0
 
 
 class RecentReadings:
@@ -112,14 +114,18 @@ class Flash:
         time_range: Optional[Tuple[float, float]] = None,
         value_range: Optional[Tuple[int, int]] = None,
         predicate: Optional[Callable[[StoredReading], bool]] = None,
+        attr: Optional[int] = None,
     ) -> List[StoredReading]:
         """Linear scan for matching tuples (paper: "linearly scans its data
         buffer for matching tuples"). Bills one flash read per scanned tuple.
+        ``attr`` restricts matches to one attribute's readings (None = any).
         """
         if self._meter is not None and self._buffer:
             self._meter.flash_read(self._node_id, len(self._buffer) * READING_BITS)
         out = []
         for reading in self._buffer:
+            if attr is not None and reading.attr != attr:
+                continue
             if time_range is not None and not (
                 time_range[0] <= reading.timestamp <= time_range[1]
             ):

@@ -149,6 +149,17 @@ class TrialMetrics:
     #: (orphaned flash), how many remain retrievable, and the
     #: retrieval-completeness ratio. Empty when the trial had no tracker.
     survival: Dict[str, float] = field(default_factory=dict)
+    #: Per-attribute counters (E15), keyed ``"a<attr>"``: readings
+    #: produced/stored, queries issued, and the oracle recall of that
+    #: attribute's query stream. Always carries at least ``"a0"`` for
+    #: simulated trials, so single-attribute runs are the k=1 row of the
+    #: same table.
+    attributes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Ground-truth query-oracle scorecard for the whole trial: mean/min
+    #: recall against the exact replayed answer sets, and the count of
+    #: precision violations (returned readings the oracle says were never
+    #: produced — always 0 unless the pipeline corrupts data).
+    oracle: Dict[str, float] = field(default_factory=dict)
     #: Simulated seconds this trial covered (stabilization + measured +
     #: drain).
     sim_time_s: float = 0.0
@@ -168,6 +179,8 @@ class TrialMetrics:
             "load_skew": self.load_skew,
             "planner": dict(self.planner),
             "survival": dict(self.survival),
+            "attributes": {k: dict(v) for k, v in self.attributes.items()},
+            "oracle": dict(self.oracle),
             "sim_time_s": self.sim_time_s,
             "wall_clock_s": self.wall_clock_s,
         }
@@ -190,13 +203,17 @@ class TrialMetrics:
         sim_time_s: float = 0.0,
         wall_clock_s: float = 0.0,
         tracker: Optional["DeliveryTracker"] = None,
+        attributes: Optional[Dict[str, Dict[str, float]]] = None,
+        oracle: Optional[Dict[str, float]] = None,
     ) -> "TrialMetrics":
         """Fold one trial's accounting objects into a metrics record.
 
         ``energy`` is the network's :class:`~repro.sim.energy.EnergyMeter`
         (typed loosely to keep this module free of an energy import cycle).
         ``tracker`` supplies the data-survival breakdown, evaluated at the
-        end of the trial (``sim_time_s``).
+        end of the trial (``sim_time_s``). ``attributes``/``oracle`` carry
+        the per-attribute counters and the query-oracle scorecard
+        (:mod:`repro.experiments.oracle`).
         """
         root_e = energy.node_energy(root)
         return cls(
@@ -225,6 +242,8 @@ class TrialMetrics:
             survival=(
                 tracker.survival_breakdown(sim_time_s) if tracker is not None else {}
             ),
+            attributes=dict(attributes or {}),
+            oracle=dict(oracle or {}),
             sim_time_s=sim_time_s,
             wall_clock_s=wall_clock_s,
         )
@@ -240,6 +259,8 @@ class ReadingOutcome:
     intended_owner: Optional[int] = None
     stored_at: Optional[int] = None
     stored_time: Optional[float] = None
+    #: attribute the reading belongs to (0 = the legacy single attribute).
+    attr: int = 0
 
     @property
     def stored(self) -> bool:
@@ -268,7 +289,8 @@ class DeliveryTracker:
 
     def __init__(self) -> None:
         self.readings: List[ReadingOutcome] = []
-        self._open: Dict[Tuple[int, int, float], ReadingOutcome] = {}
+        #: (producer, attr, value, produced_at) -> outcome awaiting storage.
+        self._open: Dict[Tuple[int, int, int, float], ReadingOutcome] = {}
         self.queries: Dict[int, QueryOutcome] = {}
         #: closed downtime intervals per node: (failed_at, revived_at).
         self._downtime: Dict[int, List[Tuple[float, float]]] = {}
@@ -297,22 +319,34 @@ class DeliveryTracker:
 
     # -- readings --------------------------------------------------------
     def reading_produced(
-        self, producer: int, value: int, time: float, intended_owner: Optional[int]
+        self,
+        producer: int,
+        value: int,
+        time: float,
+        intended_owner: Optional[int],
+        attr: int = 0,
     ) -> ReadingOutcome:
         outcome = ReadingOutcome(
             producer=producer,
             value=value,
             produced_at=time,
             intended_owner=intended_owner,
+            attr=attr,
         )
         self.readings.append(outcome)
-        self._open[(producer, value, time)] = outcome
+        self._open[(producer, attr, value, time)] = outcome
         return outcome
 
     def reading_stored(
-        self, producer: int, value: int, produced_at: float, stored_at: int, time: float
+        self,
+        producer: int,
+        value: int,
+        produced_at: float,
+        stored_at: int,
+        time: float,
+        attr: int = 0,
     ) -> None:
-        outcome = self._open.pop((producer, value, produced_at), None)
+        outcome = self._open.pop((producer, attr, value, produced_at), None)
         if outcome is not None:
             outcome.stored_at = stored_at
             outcome.stored_time = time

@@ -4,6 +4,7 @@ from typing import Optional
 
 from repro.core.config import ValueDomain
 from repro.workloads.base import CallableWorkload, Workload
+from repro.workloads.multi import MultiAttributeWorkload
 from repro.workloads.queries import QueryGenerator, QueryPlanConfig
 from repro.workloads.real_trace import CorrelatedLightWorkload, IntelLabTraceWorkload
 from repro.workloads.synthetic import (
@@ -45,6 +46,7 @@ __all__ = [
     "EqualWorkload",
     "GaussianWorkload",
     "IntelLabTraceWorkload",
+    "MultiAttributeWorkload",
     "QueryGenerator",
     "QueryPlanConfig",
     "RandomWorkload",

@@ -52,6 +52,20 @@ class Workload(abc.ABC):
     def sample(self, node_id: int, now: float) -> int:
         """The value node ``node_id`` reads at simulation time ``now``."""
 
+    def sample_attr(self, node_id: int, now: float, attr: int) -> int:
+        """The value of attribute ``attr`` at ``(node_id, now)``.
+
+        Single-attribute workloads only answer for attribute 0; the
+        multi-attribute wrapper (:mod:`repro.workloads.multi`) overrides
+        this with one correlated stream per registered attribute.
+        """
+        if attr != 0:
+            raise ValueError(
+                f"workload {self.name!r} is single-attribute; "
+                f"attribute {attr} requested"
+            )
+        return self.sample(node_id, now)
+
     def source_for_node(self, node_id: int) -> Callable[[int, float], int]:
         """Adapter matching :data:`repro.core.node.DataSource`."""
         return lambda _node, now: self.sample(node_id, now)

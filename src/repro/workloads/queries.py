@@ -39,12 +39,18 @@ class QueryPlanConfig:
     time_window: float = 240.0
     #: bias query centers toward values recently produced (0 = uniform).
     popularity_bias: float = 0.0
+    #: attributes the stream cycles over (E15): queries round-robin
+    #: attribute ids 0..n_attributes-1, so every attribute sees the same
+    #: per-attribute query rate. 1 = the legacy single-attribute stream.
+    n_attributes: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in ("value", "nodes"):
             raise ValueError(f"unknown query kind {self.kind!r}")
         if not 0 < self.node_frac <= 1:
             raise ValueError("node_frac must be in (0, 1]")
+        if self.n_attributes < 1:
+            raise ValueError("n_attributes must be >= 1")
 
     def to_dict(self) -> dict:
         """JSON-ready mapping; inverse of :meth:`from_dict`.
@@ -61,7 +67,16 @@ class QueryPlanConfig:
 
 
 class QueryGenerator:
-    """Draws queries per a :class:`QueryPlanConfig`."""
+    """Draws queries per a :class:`QueryPlanConfig`.
+
+    ``attribute_domains`` supplies the per-attribute domains of a
+    multi-attribute deployment (E15); without it the single ``domain``
+    serves every attribute the plan names. Attribute selection is a
+    deterministic round-robin over the plan's ``n_attributes``, so a
+    k-attribute stream queries each attribute at the same rate and the
+    value-range draw consumes identical RNG stream positions regardless
+    of which attribute a query lands on.
+    """
 
     def __init__(
         self,
@@ -70,27 +85,40 @@ class QueryGenerator:
         sensor_ids: Sequence[int],
         rng: random.Random,
         recent_value_hint: Optional[Callable[[], Optional[int]]] = None,
+        attribute_domains: Optional[Sequence[ValueDomain]] = None,
     ):
         self.plan = plan
         self.domain = domain
         self.sensor_ids = list(sensor_ids)
         self.rng = rng
         self._recent_value_hint = recent_value_hint
+        self.attribute_domains = (
+            list(attribute_domains)
+            if attribute_domains is not None
+            else [domain] * plan.n_attributes
+        )
+        if len(self.attribute_domains) < plan.n_attributes:
+            raise ValueError(
+                f"plan names {plan.n_attributes} attributes but only "
+                f"{len(self.attribute_domains)} domains are configured"
+            )
+        self._issued = 0
 
-    def _pick_center(self) -> int:
+    def _pick_center(self, domain: ValueDomain) -> int:
         if self.plan.popularity_bias > 0 and self._recent_value_hint is not None:
             hint = self._recent_value_hint()
             if hint is not None and self.rng.random() < self.plan.popularity_bias:
-                return self.domain.clamp(hint)
-        return self.rng.randint(self.domain.lo, self.domain.hi)
+                return domain.clamp(hint)
+        return self.rng.randint(domain.lo, domain.hi)
 
-    def value_range(self) -> Tuple[int, int]:
+    def value_range(self, attr: int = 0) -> Tuple[int, int]:
+        domain = self.attribute_domains[attr]
         lo_frac, hi_frac = self.plan.width_frac
-        width = max(1, round(self.rng.uniform(lo_frac, hi_frac) * self.domain.size))
-        center = self._pick_center()
-        lo = max(self.domain.lo, center - width // 2)
-        hi = min(self.domain.hi, lo + width - 1)
-        lo = max(self.domain.lo, hi - width + 1)
+        width = max(1, round(self.rng.uniform(lo_frac, hi_frac) * domain.size))
+        center = self._pick_center(domain)
+        lo = max(domain.lo, center - width // 2)
+        hi = min(domain.hi, lo + width - 1)
+        lo = max(domain.lo, hi - width + 1)
         return lo, hi
 
     def node_set(self) -> FrozenSet[int]:
@@ -101,6 +129,18 @@ class QueryGenerator:
 
     def next_query(self, now: float) -> Query:
         t_lo = max(0.0, now - self.plan.time_window)
+        attr = self._issued % self.plan.n_attributes
+        self._issued += 1
         if self.plan.kind == "nodes":
-            return Query(time_range=(t_lo, now), node_list=self.node_set())
-        return Query(time_range=(t_lo, now), value_range=self.value_range())
+            return Query(
+                time_range=(t_lo, now),
+                node_list=self.node_set(),
+                attr=attr,
+                domain=self.attribute_domains[attr],
+            )
+        return Query(
+            time_range=(t_lo, now),
+            value_range=self.value_range(attr),
+            attr=attr,
+            domain=self.attribute_domains[attr],
+        )

@@ -16,6 +16,7 @@ def build_scoop_network(
     config: Optional[ScoopConfig] = None,
     seed: int = 1,
     data_source=None,
+    multi_source=None,
 ) -> Tuple[Network, Basestation, List[ScoopNode]]:
     """A fully wired Scoop network over ``topology`` (node 0 = base)."""
     config = config or ScoopConfig(n_nodes=topology.n, domain=ValueDomain(0, 100))
@@ -30,6 +31,7 @@ def build_scoop_network(
             net.radio,
             config,
             data_source=data_source,
+            multi_source=multi_source,
             tracker=net.tracker,
             energy=net.energy,
         )

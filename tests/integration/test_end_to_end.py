@@ -93,17 +93,20 @@ class TestScoopLifecycle:
         assert set(base.stats.records) == {n.node_id for n in nodes}
 
     def test_queries_return_correct_values(self, fast_config):
+        """Every answer is ⊆ the ground-truth oracle's answer set, and a
+        clean channel retrieves most of what was reachable (the oracle
+        replaces the old hand-written range/time assertions)."""
+        from tests.oracle import QueryOracle
+
         workload = GaussianWorkload(DOMAIN, 8, seed=3)
         net, base, nodes, results = run_scoop(
             perfect(8), fast_config, workload, query_every=15.0
         )
         answered = [r for r in results if r.readings]
         assert answered, "no query returned any readings"
-        for result in answered:
-            for value, timestamp, producer in result.readings:
-                assert 40 <= value <= 60
-                t_lo, t_hi = result.query.time_range
-                assert t_lo <= timestamp <= t_hi
+        oracle = QueryOracle(net.tracker, fast_config)
+        recalls = oracle.check_results(results, min_mean_recall=0.5)
+        assert recalls, "no closed query to score"
 
     def test_remaps_eventually_suppressed_on_stable_data(self, fast_config):
         workload = UniqueWorkload(DOMAIN, 8)

@@ -126,9 +126,9 @@ class TestBatching:
         producer = nodes[0]
         for _ in range(small_config.batch_size - 1):
             producer._add_to_batch((5, net.sim.now, 1), 3)
-            assert producer._batch  # still buffered
+            assert producer._batches[0].readings  # still buffered
         producer._add_to_batch((5, net.sim.now, 1), 3)
-        assert not producer._batch  # flushed at batch_size
+        assert not producer._batches[0].readings  # flushed at batch_size
 
     def test_owner_change_flushes(self, small_config):
         net, base, nodes = stabilised(config=small_config)
@@ -136,8 +136,8 @@ class TestBatching:
         producer = nodes[0]
         producer._add_to_batch((5, net.sim.now, 1), 3)
         producer._add_to_batch((6, net.sim.now, 1), 4)  # different owner
-        assert producer._batch_owner == 4
-        assert len(producer._batch) == 1
+        assert producer._batches[0].owner == 4
+        assert len(producer._batches[0].readings) == 1
 
     def test_timeout_flushes(self, small_config):
         net, base, nodes = stabilised(config=small_config)
@@ -145,7 +145,7 @@ class TestBatching:
         producer = nodes[0]
         producer._add_to_batch((5, net.sim.now, 1), 3)
         net.run(net.sim.now + small_config.batch_flush_timeout + 1.0)
-        assert not producer._batch
+        assert not producer._batches[0].readings
         net.run(net.sim.now + 2.0)
         assert len(nodes[2].flash) == 1  # arrived at owner 3
 
@@ -157,7 +157,7 @@ class TestBatching:
         producer.sampling = True
         producer._add_to_batch((5, net.sim.now, 1), 3)
         producer.stop_sampling()
-        assert not producer._batch
+        assert not producer._batches[0].readings
 
 
 class TestOwnerChoice:
