@@ -147,7 +147,33 @@ def figure_table_markdown(doc: Dict[str, object]) -> str:
         f"generated {doc.get('generated_at', '?')} "
         f"(mean ± 95% CI across seeds)"
     )
-    return title + "\n\n" + markdown_table(headers, rows)
+    table = title + "\n\n" + markdown_table(headers, rows)
+    throughput = _throughput_line(doc)
+    if throughput:
+        table += "\n\n" + throughput
+    return table
+
+
+def _throughput_line(doc: Dict[str, object]) -> str:
+    """Simulator throughput footer: kernel events executed and events/sec
+    across the campaign's simulated trials (from ``TrialMetrics.timing``;
+    analytical trials carry no simulator and are skipped)."""
+    events = 0.0
+    rates: List[float] = []
+    for trial in doc.get("trials", []):
+        metrics = (trial.get("result") or {}).get("metrics") or {}
+        timing = metrics.get("timing") or {}
+        if "events_processed" in timing:
+            events += timing["events_processed"]
+            rate = timing.get("events_per_sec", 0.0)
+            if rate > 0:
+                rates.append(rate)
+    if events <= 0:
+        return ""
+    line = f"Simulator throughput: {events:,.0f} kernel events"
+    if rates:
+        line += f", mean {sum(rates) / len(rates):,.0f} events/sec per trial"
+    return line
 
 
 def rates_table(result: ExperimentResult, title: str) -> str:

@@ -68,8 +68,10 @@ TOPOLOGY_KINDS = ("testbed", "geometric", "line", "grid")
 #: breakdown, results grew ``retrieval_completeness``. v4: the
 #: multi-attribute schema (E15) — configs carry an attribute registry,
 #: query plans an attribute count, and metrics per-attribute counters
-#: plus the query-oracle scorecard.
-SPEC_SCHEMA_VERSION = 4
+#: plus the query-oracle scorecard. v5: metrics carry a ``timing`` record
+#: (simulator event counts/throughput) and the radio draws its randomness
+#: from a dedicated batched stream, which changes trial trajectories.
+SPEC_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -237,7 +239,13 @@ class ExperimentResult:
         and cache-replay identity checks compare."""
         out = self.to_dict()
         if out.get("metrics"):
-            out["metrics"] = dict(out["metrics"], wall_clock_s=0.0)
+            metrics = dict(out["metrics"], wall_clock_s=0.0)
+            # timing.events_processed is deterministic (kernel event count);
+            # events_per_sec is wall-clock derived and must be dropped.
+            timing = dict(metrics.get("timing") or {})
+            timing.pop("events_per_sec", None)
+            metrics["timing"] = timing
+            out["metrics"] = metrics
         return out
 
     @classmethod
@@ -441,6 +449,13 @@ def _collect(
     # Ground-truth oracle scorecard: exact per-query answer sets replayed
     # from the tracker, plus per-attribute planner/delivery counters.
     oracle, attributes = score_trial(base.query_log, tracker, spec.scoop)
+    events = net.sim.events_executed
+    timing = {
+        "events_processed": float(events),
+        "events_per_sec": (
+            round(events / wall_clock_s, 1) if wall_clock_s > 0 else 0.0
+        ),
+    }
     metrics = TrialMetrics.collect(
         census,
         net.energy,
@@ -451,6 +466,7 @@ def _collect(
         tracker=tracker,
         attributes=attributes,
         oracle=oracle,
+        timing=timing,
     )
     return ExperimentResult(
         spec=spec,

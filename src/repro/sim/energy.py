@@ -21,7 +21,7 @@ root in SCOOP would have to be replaced every two weeks."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
 
 #: nanojoules per bit transmitted or received over the radio.
 RADIO_NJ_PER_BIT = 700.0
@@ -33,7 +33,7 @@ FLASH_READ_NJ_PER_BIT = 3.0
 NJ_PER_J = 1e9
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeEnergy:
     """Accumulated energy use of a single node, in nanojoules."""
 
@@ -72,6 +72,16 @@ class EnergyMeter:
 
     def radio_rx(self, node: int, bits: int) -> None:
         self._node(node).radio_rx_nj += bits * RADIO_NJ_PER_BIT
+
+    def radio_rx_batch(self, nodes: "Iterable[int]", bits: int) -> None:
+        """Bill one transmission's whole reception fan-out at once."""
+        nj = bits * RADIO_NJ_PER_BIT
+        ledger = self._nodes
+        for node in nodes:
+            entry = ledger.get(node)
+            if entry is None:
+                entry = ledger[node] = NodeEnergy()
+            entry.radio_rx_nj += nj
 
     def flash_write(self, node: int, bits: int) -> None:
         self._node(node).flash_write_nj += bits * FLASH_WRITE_NJ_PER_BIT

@@ -7,27 +7,35 @@ nodes put in the header of all their outgoing packets."
 
 Every frame a node hears (addressed to it or snooped) carries the sender's
 sequence number; gaps in the sequence are missed packets. The estimator
-keeps a windowed reception-rate estimate per heard neighbor, evicts
-neighbors not heard from "for a long time" (Section 5.1), and caps the table
-at the paper's 32 entries.
+keeps a windowed reception-rate estimate per neighbor, evicts neighbors not
+heard from "for a long time" (Section 5.1), and caps the table at the
+paper's 32 entries.
+
+Hot-path note: :meth:`quality` and :meth:`etx` are called for every routing
+re-evaluation (hundreds of thousands of times per trial), so both values
+are recomputed once per *heard frame* in :meth:`hear` and cached on the
+``__slots__`` neighbor record; the queries are plain attribute reads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 
-@dataclass
 class _NeighborRecord:
-    last_seqno: int
-    received: float = 1.0
-    missed: float = 0.0
-    last_heard: float = 0.0
+    """Windowed reception estimate for one heard neighbor."""
 
-    def quality(self) -> float:
-        total = self.received + self.missed
-        return self.received / total if total > 0 else 0.0
+    __slots__ = ("last_seqno", "received", "missed", "last_heard", "quality", "etx")
+
+    def __init__(self, last_seqno: int, last_heard: float):
+        self.last_seqno = last_seqno
+        self.received = 1.0
+        self.missed = 0.0
+        self.last_heard = last_heard
+        #: cached ``received / (received + missed)``, updated on hear().
+        self.quality = 1.0
+        #: cached ``1 / quality^2`` (see :meth:`LinkEstimator.etx`).
+        self.etx = 1.0
 
 
 class LinkEstimator:
@@ -46,6 +54,8 @@ class LinkEstimator:
         adapts to changing conditions.
     """
 
+    __slots__ = ("max_neighbors", "silence_timeout", "decay", "_table")
+
     def __init__(
         self,
         max_neighbors: int = 32,
@@ -62,22 +72,28 @@ class LinkEstimator:
         record = self._table.get(neighbor)
         if record is None:
             self._maybe_evict(now)
-            self._table[neighbor] = _NeighborRecord(last_seqno=seqno, last_heard=now)
+            self._table[neighbor] = _NeighborRecord(seqno, now)
             return
         gap = seqno - record.last_seqno - 1
-        record.received *= self.decay
-        record.missed *= self.decay
-        record.received += 1.0
+        decay = self.decay
+        received = record.received * decay + 1.0
+        missed = record.missed * decay
         if gap > 0:
-            record.missed += gap
-        record.last_seqno = max(record.last_seqno, seqno)
+            missed += gap
+        record.received = received
+        record.missed = missed
+        if seqno > record.last_seqno:
+            record.last_seqno = seqno
         record.last_heard = now
+        quality = received / (received + missed)
+        record.quality = quality
+        record.etx = 1.0 / (quality * quality)
 
     def _maybe_evict(self, now: float) -> None:
         self.expire(now)
         if len(self._table) < self.max_neighbors:
             return
-        worst = min(self._table, key=lambda nbr: self._table[nbr].quality())
+        worst = min(self._table, key=lambda nbr: self._table[nbr].quality)
         del self._table[worst]
 
     def reset(self) -> None:
@@ -86,10 +102,11 @@ class LinkEstimator:
 
     def expire(self, now: float) -> None:
         """Drop neighbors not heard within the silence timeout."""
+        timeout = self.silence_timeout
         stale = [
             nbr
             for nbr, rec in self._table.items()
-            if now - rec.last_heard > self.silence_timeout
+            if now - rec.last_heard > timeout
         ]
         for nbr in stale:
             del self._table[nbr]
@@ -103,7 +120,7 @@ class LinkEstimator:
     def quality(self, neighbor: int) -> float:
         """Estimated inbound delivery rate from ``neighbor`` (0 if unknown)."""
         record = self._table.get(neighbor)
-        return record.quality() if record is not None else 0.0
+        return record.quality if record is not None else 0.0
 
     def etx(self, neighbor: int) -> float:
         """Expected transmissions for one hop from/to ``neighbor``.
@@ -112,10 +129,13 @@ class LinkEstimator:
         symmetric proxy (squared, since a successful acknowledged hop needs
         both the frame and the ACK to get through).
         """
-        q = self.quality(neighbor)
-        if q <= 0.0:
-            return float("inf")
-        return 1.0 / (q * q)
+        record = self._table.get(neighbor)
+        return record.etx if record is not None else float("inf")
+
+    def record(self, neighbor: int):
+        """The raw neighbor record (hot-path peers read cached fields
+        directly; ``None`` if unknown)."""
+        return self._table.get(neighbor)
 
     def neighbors(self) -> List[int]:
         return list(self._table.keys())
@@ -124,7 +144,7 @@ class LinkEstimator:
         """The ``k`` best-quality neighbors as (id, quality), sorted
         descending — the list shipped in summary messages (paper: 12)."""
         ranked = sorted(
-            ((nbr, rec.quality()) for nbr, rec in self._table.items()),
+            ((nbr, rec.quality) for nbr, rec in self._table.items()),
             key=lambda item: item[1],
             reverse=True,
         )

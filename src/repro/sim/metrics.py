@@ -52,6 +52,17 @@ class MessageCensus:
         self.received[receiver][frame.kind] += 1
         self.received_bits[receiver] += frame.size_bits()
 
+    def record_deliveries(
+        self, receivers: Iterable[int], kind: FrameKind, bits: int
+    ) -> None:
+        """Batch form of :meth:`record_delivery`: one transmission's whole
+        reception fan-out (the per-delivery hook tax dominated trials)."""
+        received = self.received
+        received_bits = self.received_bits
+        for receiver in receivers:
+            received[receiver][kind] += 1
+            received_bits[receiver] += bits
+
     # -- aggregate views -------------------------------------------------
     def total_sent(self, kinds: Optional[Iterable[FrameKind]] = None) -> int:
         """Total messages sent network-wide, default = the paper's metric."""
@@ -167,6 +178,11 @@ class TrialMetrics:
     #: deterministic in the spec; campaign determinism checks must ignore
     #: it (see ``deterministic_dict`` on ExperimentResult).
     wall_clock_s: float = 0.0
+    #: Simulator throughput record: ``events_processed`` (deterministic —
+    #: the kernel's executed-event count) and ``events_per_sec``
+    #: (wall-clock derived, excluded from determinism checks alongside
+    #: ``wall_clock_s``).
+    timing: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready mapping; inverse of :meth:`from_dict`."""
@@ -183,6 +199,7 @@ class TrialMetrics:
             "oracle": dict(self.oracle),
             "sim_time_s": self.sim_time_s,
             "wall_clock_s": self.wall_clock_s,
+            "timing": dict(self.timing),
         }
 
     @classmethod
@@ -205,6 +222,7 @@ class TrialMetrics:
         tracker: Optional["DeliveryTracker"] = None,
         attributes: Optional[Dict[str, Dict[str, float]]] = None,
         oracle: Optional[Dict[str, float]] = None,
+        timing: Optional[Dict[str, float]] = None,
     ) -> "TrialMetrics":
         """Fold one trial's accounting objects into a metrics record.
 
@@ -246,6 +264,7 @@ class TrialMetrics:
             oracle=dict(oracle or {}),
             sim_time_s=sim_time_s,
             wall_clock_s=wall_clock_s,
+            timing=dict(timing or {}),
         )
 
 

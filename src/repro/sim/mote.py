@@ -28,7 +28,28 @@ from repro.sim.routing_tree import RoutingTree
 
 
 class Mote:
-    """Base simulated node. Node 0 is conventionally the basestation."""
+    """Base simulated node. Node 0 is conventionally the basestation.
+
+    The base class is slotted (protocol state is touched on every heard
+    frame); application subclasses may add arbitrary attributes — they get
+    a ``__dict__`` as usual, while the hot base fields stay in slots.
+    """
+
+    __slots__ = (
+        "node_id",
+        "sim",
+        "radio",
+        "is_root",
+        "_seqno",
+        "linkest",
+        "tree",
+        "_beacon_timer",
+        "booted",
+        "_seen_frames",
+        "_seen_frames_cap",
+        "_boot_handle",
+        "__dict__",
+    )
 
     def __init__(
         self,
@@ -192,7 +213,11 @@ class Mote:
         if frame.kind is FrameKind.ACK:
             return
         self.linkest.hear(frame.src, frame.seqno, self.sim.now)
-        self.tree.note_origin_header(frame.origin, frame.origin_parent)
+        # note_origin_header only acts when the origin's parent is us; the
+        # guard is hoisted here because it is false for nearly every frame
+        # and this runs once per heard frame.
+        if frame.origin_parent == self.node_id:
+            self.tree.note_origin_header(frame.origin, frame.origin_parent)
 
     def _is_duplicate(self, frame: Frame) -> bool:
         if frame.frame_id in self._seen_frames:

@@ -39,7 +39,7 @@ class Network:
             topology,
             config=radio_config,
             on_transmit=self._on_transmit,
-            on_delivery=self._on_delivery,
+            on_deliveries=self._on_deliveries,
         )
         self.motes: Dict[int, Mote] = {}
 
@@ -50,9 +50,13 @@ class Network:
         self.census.record_transmit(node, frame)
         self.energy.radio_tx(node, frame.size_bits())
 
-    def _on_delivery(self, sender: int, receiver: int, frame: Frame) -> None:
-        self.census.record_delivery(sender, receiver, frame)
-        self.energy.radio_rx(receiver, frame.size_bits())
+    def _on_deliveries(
+        self, sender: int, receivers: list, frame: Frame, bits: int
+    ) -> None:
+        # Batched per transmission: one call for the whole reception
+        # fan-out (see Radio's on_deliveries hook).
+        self.census.record_deliveries(receivers, frame.kind, bits)
+        self.energy.radio_rx_batch(receivers, bits)
 
     # ------------------------------------------------------------------
     # Population and execution

@@ -13,13 +13,17 @@ Frame sizes are tracked in bits so the energy model (Section 2.1 of the
 paper: ~700 nJ/bit radio vs ~28 nJ/bit flash) and airtime computation have a
 physical basis. Sizes mimic TinyOS/Mica2: an 11-byte header plus up to a
 29-byte payload, consistent with the default TOS_Msg.
+
+:class:`Frame` is a ``__slots__`` record, not a dataclass: frames are the
+single most-allocated object in a trial, and every transmission, delivery
+and energy charge reads the frame's wire size — so the size is computed
+once on first use and cached (payloads are immutable by convention once a
+frame is on the air).
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Link-layer broadcast address.
@@ -58,6 +62,11 @@ class FrameKind(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Enum members are singletons compared by identity, so identity hashing
+    # is correct — and C-speed. The default Enum.__hash__ is a Python-level
+    # call that showed up as ~300k calls per trial in census dict updates.
+    __hash__ = object.__hash__
+
 
 #: Frame kinds included in the paper's cost metric.
 COST_KINDS = (
@@ -68,10 +77,9 @@ COST_KINDS = (
     FrameKind.REPLY,
 )
 
-_frame_ids = itertools.count()
+_next_frame_id = 0
 
 
-@dataclass
 class Frame:
     """A single link-layer frame.
 
@@ -88,29 +96,80 @@ class Frame:
         ``None``).
     origin:
         Scoop header: the node that originally produced this packet.
+        Defaults to ``src``.
     origin_parent:
         Scoop header: the origin's routing-tree parent (or ``None``).
     seqno:
         Scoop header: per-sender monotonically increasing sequence number,
         snooped by neighbors for link estimation.
+    ttl:
+        Hop budget, decremented on every forward; transient routing-tree
+        loops (A and B briefly choosing each other as parent) would bounce
+        a frame forever without it.
     """
 
-    src: int
-    dst: int
-    kind: FrameKind
-    payload: Any = None
-    origin: int = -2
-    origin_parent: Optional[int] = None
-    seqno: int = 0
-    #: hop budget, decremented on every forward; transient routing-tree
-    #: loops (A and B briefly choosing each other as parent) would bounce a
-    #: frame forever without it.
-    ttl: int = 32
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "kind",
+        "payload",
+        "origin",
+        "origin_parent",
+        "seqno",
+        "ttl",
+        "frame_id",
+        "_size_bytes",
+    )
 
-    def __post_init__(self) -> None:
-        if self.origin == -2:
-            self.origin = self.src
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: FrameKind,
+        payload: Any = None,
+        origin: int = -2,
+        origin_parent: Optional[int] = None,
+        seqno: int = 0,
+        ttl: int = 32,
+        frame_id: Optional[int] = None,
+    ):
+        global _next_frame_id
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.origin = src if origin == -2 else origin
+        self.origin_parent = origin_parent
+        self.seqno = seqno
+        self.ttl = ttl
+        if frame_id is None:
+            frame_id = _next_frame_id
+            _next_frame_id += 1
+        self.frame_id = frame_id
+        #: cached wire size; computed on first size query (frames are
+        #: treated as immutable once built).
+        self._size_bytes: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"Frame(src={self.src}, dst={self.dst}, kind={self.kind}, "
+            f"origin={self.origin}, seqno={self.seqno}, id={self.frame_id})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.origin == other.origin
+            and self.origin_parent == other.origin_parent
+            and self.seqno == other.seqno
+            and self.ttl == other.ttl
+            and self.frame_id == other.frame_id
+        )
 
     def payload_bytes(self) -> int:
         if self.payload is None:
@@ -123,10 +182,15 @@ class Frame:
         return int(wire())
 
     def size_bytes(self) -> int:
-        """Total over-the-air frame size in bytes."""
-        if self.kind is FrameKind.ACK:
-            return ACK_BYTES
-        return HEADER_BYTES + min(self.payload_bytes(), MAX_PAYLOAD_BYTES)
+        """Total over-the-air frame size in bytes (computed once, cached)."""
+        size = self._size_bytes
+        if size is None:
+            if self.kind is FrameKind.ACK:
+                size = ACK_BYTES
+            else:
+                size = HEADER_BYTES + min(self.payload_bytes(), MAX_PAYLOAD_BYTES)
+            self._size_bytes = size
+        return size
 
     def size_bits(self) -> int:
         return self.size_bytes() * 8

@@ -1,0 +1,111 @@
+"""Batched uniform random stream for the radio hot path.
+
+The radio consumes randomness at very high rate (every transmission draws
+per-receiver loss outcomes plus CSMA backoffs). Drawing those one at a time
+from :class:`random.Random` dominated profile time, so the radio uses this
+dedicated stream, which fills fixed-size blocks from numpy's PCG64 and
+serves draws out of the block.
+
+Determinism contract (the "stream-refill discipline")
+-----------------------------------------------------
+
+The stream is one flat sequence ``u0, u1, u2, ...`` of uniforms in
+``[0, 1)``, fixed entirely by the seed. Blocks are an implementation
+detail: ``take(k)`` returns exactly the next ``k`` elements of that
+sequence, and is therefore draw-for-draw identical to ``k`` successive
+:meth:`random` calls. Consumers keep serial ≡ parallel and vectorized ≡
+scalar determinism by obeying one rule: *the number and order of draws
+consumed must be a pure function of simulation state that both code paths
+share* — e.g. the radio draws exactly ``len(audible_neighbors(src))`` loss
+uniforms per transmission, in ascending receiver id order, regardless of
+whether a collision already doomed the frame.
+
+When numpy is unavailable the same interface is served by
+:class:`random.Random` (``take`` returns a list); the sequence differs from
+the numpy one, but every discipline above still holds, so results remain
+deterministic per (seed, backend).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+try:  # gate, don't require: the container may lack numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Mixed into the seed so the radio stream never aliases ``Simulator.rng``
+#: (which is seeded with the bare trial seed).
+_STREAM_DOMAIN = 0x5C00B
+
+_BLOCK = 4096
+
+
+class BatchedUniformStream:
+    """Uniform [0, 1) draws served from pre-generated blocks."""
+
+    __slots__ = ("seed", "_gen", "_block", "_pos", "_size")
+
+    def __init__(self, seed: int, block_size: int = _BLOCK):
+        self.seed = seed
+        self._size = block_size
+        self._pos = block_size  # empty: first draw triggers a refill
+        self._block: Optional[Sequence[float]] = None
+        if _np is not None:
+            entropy = _np.random.SeedSequence(
+                [seed & 0xFFFFFFFFFFFFFFFF, _STREAM_DOMAIN]
+            )
+            self._gen = _np.random.Generator(_np.random.PCG64(entropy))
+        else:  # pragma: no cover - exercised only without numpy
+            self._gen = random.Random((seed, _STREAM_DOMAIN))
+
+    def _refill(self) -> None:
+        if _np is not None:
+            self._block = self._gen.random(self._size)
+        else:  # pragma: no cover
+            rand = self._gen.random
+            self._block = [rand() for _ in range(self._size)]
+        self._pos = 0
+
+    def random(self) -> float:
+        """The next uniform in the sequence, as a Python float."""
+        if self._pos >= self._size:
+            self._refill()
+        value = self._block[self._pos]
+        self._pos += 1
+        return float(value)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """One draw scaled to ``[lo, hi)``."""
+        return lo + (hi - lo) * self.random()
+
+    def take(self, k: int):
+        """The next ``k`` uniforms as an array (numpy when available).
+
+        Identical draws to ``k`` successive :meth:`random` calls — this is
+        what lets the vectorized and scalar radio paths share trajectories.
+        """
+        if k <= 0:
+            return _np.empty(0) if _np is not None else []
+        if _np is not None:
+            out = _np.empty(k)
+            filled = 0
+            while filled < k:
+                if self._pos >= self._size:
+                    self._refill()
+                n = min(self._size - self._pos, k - filled)
+                out[filled : filled + n] = self._block[self._pos : self._pos + n]
+                self._pos += n
+                filled += n
+            return out
+        out_list: List[float] = []  # pragma: no cover
+        while len(out_list) < k:
+            out_list.append(self.random())
+        return out_list
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized (numpy) backend is usable."""
+    return _np is not None

@@ -40,11 +40,20 @@ class BeaconPayload:
         return 5
 
 
-@dataclass
 class _ParentCandidate:
-    advertised_etx: float
-    advertised_parent: Optional[int]
-    last_heard: float
+    """One neighbor's last-advertised route (slotted: rebuilt per beacon)."""
+
+    __slots__ = ("advertised_etx", "advertised_parent", "last_heard")
+
+    def __init__(
+        self,
+        advertised_etx: float,
+        advertised_parent: Optional[int],
+        last_heard: float,
+    ):
+        self.advertised_etx = advertised_etx
+        self.advertised_parent = advertised_parent
+        self.last_heard = last_heard
 
 
 class RoutingTree:
@@ -56,6 +65,24 @@ class RoutingTree:
     :attr:`parent`, :meth:`next_hop_down` and :meth:`in_neighbor_list` when
     routing.
     """
+
+    __slots__ = (
+        "node_id",
+        "sim",
+        "linkest",
+        "is_root",
+        "beacon_interval",
+        "max_descendants",
+        "max_neighbors",
+        "switch_threshold",
+        "parent_timeout",
+        "parent",
+        "path_etx",
+        "_candidates",
+        "_descendants",
+        "neighbor_parents",
+        "parent_changes",
+    )
 
     def __init__(
         self,
@@ -126,33 +153,51 @@ class RoutingTree:
         return cand.advertised_etx + self.linkest.etx(neighbor)
 
     def _reevaluate(self) -> None:
+        # Runs on every received/snooped beacon — the candidate sweep reads
+        # the link estimator's cached per-record ETX instead of going
+        # through the etx() lookup twice per candidate.
         now = self.sim.now
-        stale = [
-            nbr
-            for nbr, cand in self._candidates.items()
-            if now - cand.last_heard > self.parent_timeout
-        ]
-        for nbr in stale:
-            del self._candidates[nbr]
-
-        if self.parent is not None and self.parent not in self._candidates:
-            self.parent = None
-            self.path_etx = math.inf
-
+        candidates = self._candidates
+        cutoff = now - self.parent_timeout
+        parent = self.parent
+        stale = None
         best: Optional[int] = None
         best_cost = math.inf
-        for nbr in self._candidates:
-            cost = self._candidate_cost(nbr)
+        current_cost: Optional[float] = None
+        inf = math.inf
+        # Single pass: stale detection and the cost sweep share one loop.
+        # Direct table access (not linkest.etx()): this runs for every heard
+        # beacon and the method-call tax dominated its profile.
+        table = self.linkest._table
+        for nbr, cand in candidates.items():
+            if cand.last_heard < cutoff:
+                if stale is None:
+                    stale = [nbr]
+                else:
+                    stale.append(nbr)
+                continue
+            rec = table.get(nbr)
+            cost = cand.advertised_etx + (rec.etx if rec is not None else inf)
             if cost < best_cost:
                 best, best_cost = nbr, cost
+            if nbr == parent:
+                current_cost = cost
+
+        if stale:
+            for nbr in stale:
+                del candidates[nbr]
+
+        if current_cost is None:
+            # Parent fell out of the candidate table (or went stale).
+            if parent is not None:
+                parent = self.parent = None
+                self.path_etx = inf
+            current_cost = inf
 
         if best is None:
             return
-        current_cost = (
-            self._candidate_cost(self.parent) if self.parent is not None else math.inf
-        )
-        if self.parent is None or best_cost < current_cost - self.switch_threshold:
-            if best != self.parent:
+        if parent is None or best_cost < current_cost - self.switch_threshold:
+            if best != parent:
                 self.parent_changes += 1
             self.parent = best
             current_cost = best_cost

@@ -43,6 +43,21 @@ class Trickle:
         consistent advertisements were heard this interval.
     """
 
+    __slots__ = (
+        "sim",
+        "transmit",
+        "imin",
+        "imax",
+        "k",
+        "interval",
+        "_counter",
+        "_fire_handle",
+        "_end_handle",
+        "_running",
+        "transmissions",
+        "suppressions",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -149,6 +164,21 @@ class ChunkDisseminator(Generic[C]):
     :meth:`on_advert` / :meth:`on_chunk`. ``on_complete`` fires exactly once
     per version, when the final missing chunk arrives.
     """
+
+    __slots__ = (
+        "sim",
+        "_send_advert",
+        "_send_chunk",
+        "_on_complete",
+        "max_chunks_per_response",
+        "sid",
+        "total",
+        "_chunks",
+        "_completed",
+        "_response_pending",
+        "_response_handle",
+        "trickle",
+    )
 
     def __init__(
         self,

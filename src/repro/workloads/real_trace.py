@@ -67,6 +67,10 @@ class CorrelatedLightWorkload(Workload):
         # by nodes" that lets Scoop assign nodes their own values. Without
         # positions, offsets are random per node (no geographic locality).
         self._offsets: Dict[int, float] = {}
+        #: memoized random-walk knots: every node sampling inside the same
+        #: time bucket re-derives the same deterministic value, so caching
+        #: changes nothing but skips a hash + PRNG construction per sample.
+        self._walk_cache: Dict[int, float] = {}
         if self.positions is not None and len(self.positions) >= n_nodes:
             xs = [p[0] for p in self.positions[:n_nodes]]
             ys = [p[1] for p in self.positions[:n_nodes]]
@@ -92,8 +96,13 @@ class CorrelatedLightWorkload(Workload):
     # ------------------------------------------------------------------
     def _walk_value(self, bucket: int) -> float:
         """Smooth random-walk component, deterministic per time bucket."""
-        rng = self._rng_for("walk", bucket)
-        return rng.gauss(0.0, self._span * self.shared_amplitude / 2)
+        try:
+            return self._walk_cache[bucket]
+        except KeyError:
+            rng = self._rng_for("walk", bucket)
+            value = rng.gauss(0.0, self._span * self.shared_amplitude / 2)
+            self._walk_cache[bucket] = value
+            return value
 
     def building_signal(self, now: float) -> float:
         """The shared light level all nodes observe (before offsets)."""
