@@ -1,0 +1,87 @@
+"""Weekly-cron gate: shape assertions on the full-scale E16 export.
+
+Reads the latest ``query_service`` campaign export (written by
+``REPRO_FULL=1 ... run query_service --export``) and checks the serving
+story's qualitative shape, per policy across the offered-load sweep:
+
+* tail latency degrades with load — p95 and p99 are monotone
+  non-decreasing (within a cross-seed slack) and strictly worse at the
+  top of the sweep than at the bottom. p50 is deliberately NOT gated:
+  at high load the cache serves most requests at ~zero latency, so the
+  median *improves* while the tails collapse — gating it would encode
+  the wrong shape.
+* the shed rate only ever rises with load, and at least one overloaded
+  cell actually sheds;
+* the answer cache earns its keep (hit rate > 0 wherever enough
+  requests arrived to repeat a bucket);
+* the ground-truth oracle stays clean — serving answers from a cache
+  must never fabricate a reading (zero precision violations).
+"""
+
+import sys
+
+from repro.experiments.export import latest_export, load_campaign_export
+
+#: Cross-seed slack on adjacent-load latency comparisons, in simulated
+#: seconds (different loads coalesce different request mixes).
+LATENCY_SLACK_S = 2.0
+#: Slack on adjacent-load shed-rate comparisons.
+SHED_SLACK = 0.02
+
+
+def mean(values):
+    return sum(values) / len(values)
+
+
+def main() -> int:
+    path = latest_export("query_service")
+    assert path is not None, "no query_service export found"
+    doc = load_campaign_export(path)
+
+    by_policy = {}
+    for trial in doc["trials"]:
+        qps_part, policy = trial["label"].split("/")
+        qps = float(qps_part.removeprefix("qps="))
+        result = trial["result"]
+        service = result["metrics"]["service"]
+        assert service, trial["label"]
+        oracle = result["metrics"]["oracle"]
+        assert oracle.get("precision_violations", 0) == 0, (
+            trial["label"],
+            oracle,
+        )
+        assert service["requests_offered"] > 0, trial["label"]
+        cell = by_policy.setdefault(policy, {}).setdefault(qps, [])
+        cell.append(service)
+
+    assert set(by_policy) == {"scoop", "local"}, sorted(by_policy)
+    some_shed = False
+    some_hits = False
+    for policy, by_qps in by_policy.items():
+        loads = sorted(by_qps)
+        assert len(loads) >= 3, (policy, loads)
+        for metric in ("latency_p95_s", "latency_p99_s"):
+            series = [mean([s[metric] for s in by_qps[q]]) for q in loads]
+            for a, b in zip(series, series[1:]):
+                assert b >= a - LATENCY_SLACK_S, (policy, metric, series)
+            assert series[-1] > series[0], (policy, metric, series)
+        shed = [mean([s["shed_rate"] for s in by_qps[q]]) for q in loads]
+        for a, b in zip(shed, shed[1:]):
+            assert b >= a - SHED_SLACK, (policy, shed)
+        some_shed = some_shed or shed[-1] > 0
+        hits = [mean([s["cache_hit_rate"] for s in by_qps[q]]) for q in loads]
+        some_hits = some_hits or any(rate > 0 for rate in hits)
+        print(
+            f"{policy}: p95={[round(v, 1) for v in [mean([s['latency_p95_s'] for s in by_qps[q]]) for q in loads]]} "
+            f"shed={[round(v, 2) for v in shed]} "
+            f"hit={[round(v, 2) for v in hits]}"
+        )
+    assert some_shed, "no cell sheds: the sweep never saturates the service"
+    assert some_hits, "cache hit rate is 0 everywhere: the answer cache is dead"
+
+    print("query_service shape OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ def main() -> int:
     # are discovered that way rather than via a hand-edited list.
     assert "node_churn" in names, names
     assert "multi_attribute" in names, names
+    assert "query_service" in names, names
     for name in names:
         execution = check_scenario(name)
         print(f"{name}: replayed {execution['cached']} trials from cache")

@@ -5,9 +5,10 @@ Demonstrates the paper's central claim (Section 4, properties P1/P2):
 than data rates, and data is stored closer to the source when data rates
 are higher than query rates."
 
-The script runs three phases on a line topology (so "distance to the
-basestation" is just the node id) and prints where the hot value band is
-stored after each phase:
+The script keeps one resident :class:`repro.service.Deployment` (the
+same facade the experiment runner and the query gateway are built on) on
+a line topology — so "distance to the basestation" is just the node id —
+and prints where the hot value band is stored after each phase:
 
   phase 1 — no queries: values live at their producers (deep in the line);
   phase 2 — a query storm on one band: that band's owner migrates toward
@@ -19,11 +20,9 @@ Usage:
 """
 
 from repro.core.config import ScoopConfig, ValueDomain
-from repro.core.query import Query
-from repro.experiments import ExperimentSpec, build_motes
-from repro.sim.network import Network
+from repro.experiments import ExperimentSpec
+from repro.service import Deployment
 from repro.sim.topology import line
-from repro.workloads.synthetic import UniqueWorkload
 
 N = 10  # line: base 0 - 1 - 2 - ... - 9
 HOT_VALUE = 8  # produced by node 8, two hops from the line's end
@@ -47,40 +46,42 @@ def main() -> None:
         duration=1800.0,
         beacon_interval=5.0,
     )
-    network = Network(line(N), seed=3)
-    workload = UniqueWorkload(config.domain, N)
-    # The policy registry wires the full SCOOP stack (swap the policy name
-    # to watch a baseline instead).
+    # One spec, one wiring path: Deployment.create builds the topology,
+    # network, workload and motes (swap the policy name to watch a
+    # baseline instead).
     spec = ExperimentSpec(policy="scoop", workload="unique", scoop=config, seed=3)
-    base, nodes = build_motes(spec, network, workload)
+    dep = Deployment.create(spec, topology=line(N))
+    base = dep.base
 
-    network.boot_all(within=5.0)
-    network.run(config.stabilization)
-    for node in nodes:
-        node.start_sampling()
-    base.start_scoop()
+    dep.boot()
+    dep.stabilize()
 
     # Phase 1: data only. Each node produces its own id; no query pressure.
-    network.run(network.sim.now + 300.0)
+    dep.advance(300.0)
     print(f"phase 1 (no queries):    value {HOT_VALUE} stored at "
           f"{owner_distance(base, HOT_VALUE)}")
 
-    # Phase 2: hammer value 8 with queries every 2 seconds.
-    stop_at = network.sim.now + 400.0
+    # Phase 2: hammer value 8 with queries every 2 seconds. Queries are
+    # injected mid-flight through the facade (dep.query validates the
+    # range against the domain and goes through base.issue_query);
+    # wait=False keeps the storm's own cadence instead of blocking each
+    # query through its reply window.
+    stop_at = dep.now + 400.0
 
     def storm() -> None:
-        if network.sim.now >= stop_at:
+        if dep.now >= stop_at:
             return
-        base.issue_query(
-            Query(
-                time_range=(network.sim.now - 60.0, network.sim.now),
-                value_range=(HOT_VALUE, HOT_VALUE),
-            )
+        dep.query(
+            attr=0,
+            lo=HOT_VALUE,
+            hi=HOT_VALUE,
+            time_range=(dep.now - 60.0, dep.now),
+            wait=False,
         )
-        network.sim.schedule(2.0, storm)
+        dep.net.sim.schedule(2.0, storm)
 
-    network.sim.schedule(1.0, storm)
-    network.run(stop_at + 60.0)
+    dep.net.sim.schedule(1.0, storm)
+    dep.run_until(stop_at + 60.0)
     print(f"phase 2 (query storm):   value {HOT_VALUE} stored at "
           f"{owner_distance(base, HOT_VALUE)}")
     owner_under_storm = base.current_index.owner_of(HOT_VALUE)
@@ -88,7 +89,7 @@ def main() -> None:
     # Phase 3: silence again. Query statistics average over the whole
     # history (the paper's estimator has long memory), so the band drifts
     # back only slowly — it may still sit at the base after 15 minutes.
-    network.run(network.sim.now + 900.0)
+    dep.advance(900.0)
     print(f"phase 3 (queries over):  value {HOT_VALUE} stored at "
           f"{owner_distance(base, HOT_VALUE)} "
           "(drifts home slowly: the query-rate estimate decays with 1/t)")

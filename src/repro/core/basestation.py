@@ -87,6 +87,13 @@ class Basestation(ScoopNode):
         """Attribute 0's dissemination history (the legacy view)."""
         return self.index_histories[0]
 
+    @property
+    def index_epoch(self) -> int:
+        """The remap epoch: the shared sid counter, bumped whenever a
+        remap disseminates new storage indexes. Cached query answers
+        keyed on it self-invalidate the moment the mapping changes."""
+        return self._sid_counter
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -96,6 +103,14 @@ class Basestation(ScoopNode):
 
     def stop_scoop(self) -> None:
         self._remap_timer.stop()
+
+    def force_remap(self) -> None:
+        """Run one remap cycle immediately, outside the periodic timer.
+
+        The serving layer's explicit invalidation hook: a forced remap
+        bumps :attr:`index_epoch` (when indexes are accepted), expiring
+        every epoch-keyed cached answer."""
+        self._remap()
 
     # ------------------------------------------------------------------
     # Statistics ingestion
@@ -300,11 +315,18 @@ class Basestation(ScoopNode):
     # ------------------------------------------------------------------
     # Query issue / reply assembly
     # ------------------------------------------------------------------
-    def issue_query(self, query: Query) -> QueryResult:
-        now = self.sim.now
-        # Malformed queries error instead of silently returning nothing:
-        # the attribute must be registered and a value range must sit
-        # inside that attribute's configured domain.
+    def validate_query(self, query: Query) -> None:
+        """Check an externally constructed query against this station's
+        configuration, raising ``ValueError`` on the first problem.
+
+        Malformed queries error instead of silently returning nothing:
+        the attribute must be registered, a value range must sit inside
+        that attribute's configured domain, and a node list may only
+        name nodes in the deployed population. Every query entering
+        :meth:`issue_query` passes through here, so externally supplied
+        queries (the service facade's path) get the same validation as
+        the internal generator's.
+        """
         domain = self.config.domain_of(query.attr)
         if query.value_range is not None:
             lo, hi = query.value_range
@@ -313,6 +335,17 @@ class Basestation(ScoopNode):
                     f"query {query.query_id}: value range [{lo}, {hi}] outside "
                     f"attribute {query.attr}'s domain [{domain.lo}, {domain.hi}]"
                 )
+        if query.node_list is not None:
+            unknown = {n for n in query.node_list if not 0 <= n < self.config.n_nodes}
+            if unknown:
+                raise ValueError(
+                    f"query {query.query_id}: node list names unknown nodes "
+                    f"{sorted(unknown)}; the population is 0..{self.config.n_nodes - 1}"
+                )
+
+    def issue_query(self, query: Query) -> QueryResult:
+        now = self.sim.now
+        self.validate_query(query)
         self.stats.record_query(query.value_range, now, attr=query.attr)
         targets = self.plan_query(query)
         result = QueryResult(query=query, nodes_targeted=set(targets))

@@ -9,8 +9,11 @@ Usage:
     python -m repro.experiments report [<scenario>|<export.json>]
                                     [--export-dir DIR]
     python -m repro.experiments plot [<scenario>|<export.json>]
-                                    [--export-dir DIR] [--out-dir DIR]
+                                    [--export-dir DIR] [--output DIR]
                                     [--format svg|png|svg,png]
+    python -m repro.experiments serve <scenario> [--tenants N] [--port P]
+                                    [--host H] [--duration S] [--scale S]
+                                    [--base-seed B] [--export] [--export-dir DIR]
     python -m repro.experiments list
     python -m repro.experiments clear-cache [--cache-dir DIR]
 
@@ -24,7 +27,10 @@ edits self-invalidate), so re-running a campaign is free. ``--export``
 writes the campaign's canonical JSON document under
 ``benchmarks/results/campaigns/``; ``report`` renders the markdown figure
 table and ``plot`` the Figure-3/4/5-style charts of the latest (or a
-given) export — neither re-runs anything.
+given) export — neither re-runs anything. ``serve`` boots a scenario's
+spec as resident deployments (one per tenant) behind the asyncio query
+gateway and answers JSON-lines queries over TCP (E16's serving layer,
+interactively).
 """
 
 from __future__ import annotations
@@ -49,8 +55,10 @@ from repro.experiments.scenarios import (
     SCENARIO_ALIASES,
     SCENARIOS,
     bench_scale,
+    canonical_scenario_name,
     scenario_names,
     scenario_trials,
+    unknown_scenario_error,
 )
 
 
@@ -127,7 +135,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     plot.add_argument("--export-dir", default=None, help="export directory to search")
     plot.add_argument(
+        "--output",
         "--out-dir",
+        dest="out_dir",
         default=None,
         help="image output directory (default: <export dir>/plots)",
     )
@@ -136,6 +146,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default="svg",
         help="comma-separated image formats: svg (always available) "
         "and/or png (needs the optional cairosvg)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a scenario's deployment over TCP (JSON-lines query gateway)",
+    )
+    serve.add_argument(
+        "scenario",
+        help="scenario name or E/A experiment id; its first SCOOP trial's "
+        "spec becomes the resident deployment",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=1, help="resident deployments (one per tenant)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7016, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many wall-clock seconds, then print stats and "
+        "exit (default: until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="time-scale factor for the deployment spec (overrides "
+        "REPRO_BENCH_SCALE and REPRO_FULL)",
+    )
+    serve.add_argument("--base-seed", type=int, default=1, help="first tenant's seed")
+    serve.add_argument(
+        "--export",
+        action="store_true",
+        help="write the per-tenant serving stats snapshot as JSON on shutdown",
+    )
+    serve.add_argument(
+        "--export-dir",
+        default=None,
+        help="export directory (default: benchmarks/results/campaigns, "
+        "or REPRO_EXPORT_DIR)",
     )
 
     sub.add_parser("list", help="list scenarios and their trial grids")
@@ -182,10 +235,7 @@ def _resolve_export(
         hint = (
             "; run the scenario with --export first"
             if scenario is None or scenario in SCENARIOS
-            else (
-                f"; {target!r} is not a registered scenario either — "
-                "`python -m repro.experiments list` shows the registry"
-            )
+            else f"; {unknown_scenario_error(target)}"
         )
         return None, f"no export for {what} under {where}{hint}"
     return path, None
@@ -329,6 +379,83 @@ def _cmd_plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.experiments.campaign import _scale_override
+    from repro.service import QueryGateway, serve_gateway
+
+    name = canonical_scenario_name(args.scenario)
+    if name not in SCENARIOS:
+        print(f"error: {unknown_scenario_error(args.scenario)}", file=sys.stderr)
+        return 2
+    if args.tenants < 1:
+        print(f"error: need at least one tenant, got {args.tenants}", file=sys.stderr)
+        return 2
+    with _scale_override(args.scale):
+        trials = scenario_trials(name, seed=args.base_seed)
+    label, spec = next(
+        ((lbl, s) for lbl, s in trials if s.policy == "scoop"), trials[0]
+    )
+
+    async def _serve() -> dict:
+        print(
+            f"booting {args.tenants} tenant(s) of {name} ({label}) — "
+            "each runs its warm-up to completion..."
+        )
+        gateway = QueryGateway.from_spec(
+            spec,
+            tenants=args.tenants,
+            base_seed=args.base_seed,
+            progress=lambda tenant: print(f"  {tenant}: deployment live"),
+        )
+        await gateway.start()
+        server = await serve_gateway(gateway, host=args.host, port=args.port)
+        bound = server.sockets[0].getsockname()
+        print(
+            f"serving on {bound[0]}:{bound[1]} — JSON lines, e.g. "
+            '{"op": "query", "tenant": "tenant0", "attr": 0, "lo": 10, "hi": 30}'
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # until Ctrl-C
+        finally:
+            server.close()
+            await server.wait_closed()
+            await gateway.close()
+        return gateway.stats()
+
+    try:
+        stats = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+    for tenant in sorted(stats):
+        snap = stats[tenant]
+        print(
+            f"{tenant}: {snap['requests_offered']:.0f} offered, "
+            f"{snap['requests_served']:.0f} served, "
+            f"{snap['requests_shed']:.0f} shed, "
+            f"hit rate {snap['cache_hit_rate']:.2f}, "
+            f"p95 latency {snap['latency_p95_s']:.2f}s (simulated)"
+        )
+    if args.export:
+        out_dir = Path(args.export_dir) if args.export_dir else default_export_root()
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        path = out_dir / f"{name}_serve_{stamp}.json"
+        path.write_text(
+            json.dumps(
+                {"scenario": name, "label": label, "tenants": stats}, indent=2
+            )
+        )
+        print(f"export: {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -337,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "plot":
         return _cmd_plot(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "clear-cache":
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
         removed = cache.clear()

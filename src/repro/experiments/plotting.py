@@ -525,6 +525,44 @@ def completeness_series_svg(doc: Dict[str, object]) -> str:
     return series_svg(doc, labels=labels, metric="retrieval completeness")
 
 
+def service_labels(
+    doc: Dict[str, object], metric: str
+) -> Optional[List[Dict[str, object]]]:
+    """Per-label aggregates of one serving-layer metric (``latency_p95_s``,
+    ``cache_hit_rate``, ``shed_rate``, ...), computed from the export's
+    per-trial ``metrics.service`` scorecards — mean and 95% CI across
+    seeds, same shape as the document's ``labels`` entries. ``None`` when
+    no trial carries the metric (non-E16 campaigns)."""
+    by_label: Dict[str, List[float]] = {}
+    for trial in doc.get("trials") or []:
+        metrics = (trial.get("result") or {}).get("metrics") or {}
+        service = metrics.get("service") or {}
+        if metric in service:
+            by_label.setdefault(str(trial.get("label")), []).append(
+                float(service[metric])
+            )
+    if not by_label:
+        return None
+    ordered = [
+        str(entry.get("label"))
+        for entry in doc.get("labels") or []
+        if str(entry.get("label")) in by_label
+    ] or sorted(by_label)
+    out: List[Dict[str, object]] = []
+    for label in ordered:
+        mean, _sd, ci95 = sample_stats(by_label[label])
+        out.append({"label": label, "total": {"mean": mean, "ci95": ci95}})
+    return out
+
+
+#: The E16 headline charts: (file-stem suffix, service metric, axis name).
+SERVICE_CHARTS: Tuple[Tuple[str, str, str], ...] = (
+    ("latency", "latency_p95_s", "p95 latency (simulated s)"),
+    ("cache-hit", "cache_hit_rate", "cache hit rate"),
+    ("shed", "shed_rate", "shed rate"),
+)
+
+
 # ----------------------------------------------------------------------
 # Drivers: export document → image files
 # ----------------------------------------------------------------------
@@ -557,7 +595,8 @@ def plot_campaign(
     Always renders the Figure-3 breakdown chart; sweep campaigns (labels
     like ``n=64/scoop``) additionally get the Figure-4/5 series chart,
     plus the retrieval-completeness series when the trials carry
-    survival metrics (E14).
+    survival metrics (E14) and the latency/cache-hit/shed series when
+    they carry serving scorecards (E16).
     ``formats`` may include ``svg`` and ``png`` (PNG requires the
     optional ``cairosvg``; unavailable formats raise ``RuntimeError``).
     """
@@ -581,6 +620,10 @@ def plot_campaign(
         if completeness is not None and parse_series(doc, completeness) is not None:
             chart = series_svg(doc, completeness, "retrieval completeness")
             charts.append(("completeness", chart))
+        for suffix, metric, axis in SERVICE_CHARTS:
+            labels = service_labels(doc, metric)
+            if labels is not None and parse_series(doc, labels) is not None:
+                charts.append((suffix, series_svg(doc, labels, axis)))
     written: List[Path] = []
     for kind, svg_text in charts:
         if "svg" in formats:

@@ -148,10 +148,67 @@ def figure_table_markdown(doc: Dict[str, object]) -> str:
         f"(mean ± 95% CI across seeds)"
     )
     table = title + "\n\n" + markdown_table(headers, rows)
+    service = _service_table(doc)
+    if service:
+        table += "\n\n" + service
     throughput = _throughput_line(doc)
     if throughput:
         table += "\n\n" + throughput
     return table
+
+
+def _service_table(doc: Dict[str, object]) -> str:
+    """Serving scorecard table for query-service campaigns (E16): per
+    label, the across-seed mean offered/served rates, latency
+    percentiles, cache hit rate and shed rate (from
+    ``TrialMetrics.service``; empty string for non-serving campaigns)."""
+    by_label: Dict[str, List[Dict[str, float]]] = {}
+    for trial in doc.get("trials", []):
+        metrics = (trial.get("result") or {}).get("metrics") or {}
+        service = metrics.get("service") or {}
+        if service:
+            by_label.setdefault(str(trial.get("label")), []).append(service)
+    if not by_label:
+        return ""
+    ordered = [
+        str(entry.get("label"))
+        for entry in doc.get("labels", [])
+        if str(entry.get("label")) in by_label
+    ] or sorted(by_label)
+
+    def mean_of(snaps: List[Dict[str, float]], key: str) -> float:
+        values = [float(s.get(key, 0.0)) for s in snaps]
+        return sum(values) / len(values) if values else 0.0
+
+    headers = [
+        "trial",
+        "qps offered",
+        "qps served",
+        "p50 (s)",
+        "p95 (s)",
+        "p99 (s)",
+        "hit rate",
+        "shed rate",
+    ]
+    rows = []
+    for label in ordered:
+        snaps = by_label[label]
+        rows.append(
+            [
+                label,
+                f"{mean_of(snaps, 'qps_offered'):.3f}",
+                f"{mean_of(snaps, 'qps_served'):.3f}",
+                f"{mean_of(snaps, 'latency_p50_s'):.2f}",
+                f"{mean_of(snaps, 'latency_p95_s'):.2f}",
+                f"{mean_of(snaps, 'latency_p99_s'):.2f}",
+                f"{mean_of(snaps, 'cache_hit_rate'):.2f}",
+                f"{mean_of(snaps, 'shed_rate'):.2f}",
+            ]
+        )
+    return (
+        "Serving scorecard (simulated-time latencies, mean across seeds):\n\n"
+        + markdown_table(headers, rows)
+    )
 
 
 def _throughput_line(doc: Dict[str, object]) -> str:

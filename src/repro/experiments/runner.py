@@ -31,7 +31,7 @@ from repro.core.node import ScoopNode
 from repro.core.query import QueryResult
 from repro.experiments.registry import is_registered, known_policies, policy_factory
 from repro.experiments.salt import cache_salt
-from repro.sim.failure import FailureInjector, FailureSchedule
+from repro.sim.failure import FailureSchedule
 from repro.sim.metrics import TrialMetrics
 from repro.sim.network import Network
 from repro.sim.topology import (
@@ -49,7 +49,7 @@ from repro.workloads import (
     Workload,
     make_workload,
 )
-from repro.workloads.queries import QueryGenerator, QueryPlanConfig
+from repro.workloads.queries import QueryPlanConfig
 
 #: The storage policies of the paper's experiments (Section 6 table). The
 #: live set (including plug-in policies) is
@@ -70,8 +70,10 @@ TOPOLOGY_KINDS = ("testbed", "geometric", "line", "grid")
 #: query plans an attribute count, and metrics per-attribute counters
 #: plus the query-oracle scorecard. v5: metrics carry a ``timing`` record
 #: (simulator event counts/throughput) and the radio draws its randomness
-#: from a dedicated batched stream, which changes trial trajectories.
-SPEC_SCHEMA_VERSION = 5
+#: from a dedicated batched stream, which changes trial trajectories. v6:
+#: specs grew the serving-layer knobs (E16: ``service_qps`` and the
+#: gateway limits) and metrics a ``service`` scorecard.
+SPEC_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -112,6 +114,21 @@ class ExperimentSpec:
     #: (per-attribute counters, oracle scorecard); the paper scenarios
     #: keep the analytical evaluation.
     hash_simulated: bool = False
+    #: Serving load (E16): offered external query rate in requests per
+    #: simulated second. 0 = a plain batch trial (the internal
+    #: generator's query stream); > 0 replaces that stream with the
+    #: deterministic load-test driver
+    #: (:func:`repro.service.loadtest.drive_load`) and exports the
+    #: serving scorecard through ``TrialMetrics.service``.
+    service_qps: float = 0.0
+    #: Admission-control bound: per-tenant queued requests beyond this
+    #: are shed with an explicit status.
+    service_queue_depth: int = 8
+    #: Basestation queries issued per batch window at most.
+    service_batch_capacity: int = 4
+    #: Value-domain buckets for answer-cache keys and query coalescing
+    #: (0 or 1 disables quantization — whole-domain queries).
+    service_cache_buckets: int = 16
 
     def __post_init__(self) -> None:
         if not is_registered(self.policy):
@@ -139,6 +156,22 @@ class ExperimentSpec:
             raise ValueError(
                 f"churn_downtime_frac must be in (0, 1], got "
                 f"{self.churn_downtime_frac}"
+            )
+        if self.service_qps < 0:
+            raise ValueError(f"service_qps must be >= 0, got {self.service_qps}")
+        if self.service_queue_depth < 1:
+            raise ValueError(
+                f"service_queue_depth must be >= 1, got {self.service_queue_depth}"
+            )
+        if self.service_batch_capacity < 1:
+            raise ValueError(
+                f"service_batch_capacity must be >= 1, "
+                f"got {self.service_batch_capacity}"
+            )
+        if self.service_cache_buckets < 0:
+            raise ValueError(
+                f"service_cache_buckets must be >= 0, "
+                f"got {self.service_cache_buckets}"
             )
 
     def to_dict(self) -> Dict[str, object]:
@@ -369,70 +402,41 @@ def run_experiment(
     topology: Optional[Topology] = None,
     on_query_result: Optional[Callable[[QueryResult], None]] = None,
 ) -> ExperimentResult:
-    """Run one full trial and collect the paper's measurements."""
+    """Run one full trial and collect the paper's measurements.
+
+    A thin batch driver over :class:`repro.service.deployment.Deployment`
+    (imported lazily — the service package imports this module's
+    builders): the facade runs the paper's phases in exactly the order
+    this function used to inline, so trial trajectories are
+    byte-identical to the pre-facade runner. Specs with
+    ``service_qps > 0`` replace the internal query stream with the E16
+    offered-load driver.
+    """
+    from repro.service.deployment import Deployment
+
     started = time.perf_counter()
     config = spec.scoop
-    topo = topology if topology is not None else build_topology(spec)
-    if topo.n != config.n_nodes:
-        raise ValueError(
-            f"topology has {topo.n} nodes but config expects {config.n_nodes}"
-        )
-    net = Network(topo, seed=spec.seed)
-    workload = build_workload(spec, topo)
-    base, nodes = build_motes(spec, net, workload)
-
-    # Failure injection (E14): arm the churn schedule before anything
-    # runs; kills/revives then fire on the simulation clock mid-workload.
-    schedule = build_failure_schedule(spec)
-    if schedule is not None:
-        FailureInjector(net, schedule).arm()
+    deployment = Deployment.create(spec, topology=topology)
 
     # Phase 1: boot and stabilize the routing tree (paper: 10 minutes of
     # heartbeats before sampling starts).
-    net.boot_all(within=config.beacon_interval)
-    net.run(config.stabilization)
+    deployment.boot()
 
     # Phase 2: the measured workload.
-    for node in nodes:
-        node.start_sampling()
-    base.start_scoop()
+    deployment.stabilize()
+    if spec.service_qps > 0:
+        from repro.service.loadtest import drive_load
 
-    if spec.query_plan.n_attributes > config.n_attributes:
-        raise ValueError(
-            f"query plan names {spec.query_plan.n_attributes} attributes but "
-            f"the config registers {config.n_attributes}"
-        )
-    generator = QueryGenerator(
-        spec.query_plan,
-        config.domain,
-        list(config.sensor_ids),
-        rng=net.sim.rng,
-        attribute_domains=[config.domain_of(a) for a in config.attribute_ids],
-    )
-    queries_issued = 0
-
-    def query_tick() -> None:
-        nonlocal queries_issued
-        if net.sim.now >= config.stabilization + config.duration:
-            return
-        result = base.issue_query(generator.next_query(net.sim.now))
-        queries_issued += 1
-        if on_query_result is not None:
-            on_query_result(result)
-        net.sim.schedule(config.query_interval, query_tick)
-
-    net.sim.schedule(config.query_interval, query_tick)
-    net.run(config.stabilization + config.duration)
+        drive_load(deployment)
+        deployment.run_until(config.stabilization + config.duration)
+    else:
+        deployment.start_query_stream(on_result=on_query_result)
+        deployment.run_until(config.stabilization + config.duration)
 
     # Phase 3: drain — flush batches, let in-flight frames land.
-    for node in nodes:
-        if node.booted:  # dead nodes have nothing to stop or flush
-            node.stop_sampling()
-    net.run(net.sim.now + config.query_reply_window + 5.0)
+    deployment.drain()
 
-    return _collect(
-        spec, net, base, queries_issued, wall_clock_s=time.perf_counter() - started
-    )
+    return deployment.collect(wall_clock_s=time.perf_counter() - started)
 
 
 def _collect(
@@ -441,6 +445,7 @@ def _collect(
     base: Basestation,
     queries_issued: int,
     wall_clock_s: float = 0.0,
+    service: Optional[Dict[str, float]] = None,
 ) -> ExperimentResult:
     census = net.census
     tracker = net.tracker
@@ -466,6 +471,7 @@ def _collect(
         tracker=tracker,
         attributes=attributes,
         oracle=oracle,
+        service=service,
         timing=timing,
     )
     return ExperimentResult(

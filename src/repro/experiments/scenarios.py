@@ -18,6 +18,7 @@ storage indexes sharing one dissemination epoch).
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import os
 import sys
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
@@ -409,6 +410,55 @@ def scaling_xl(
 
 
 # ----------------------------------------------------------------------
+# E16 — query service: offered-load sweep through the serving layer
+# ----------------------------------------------------------------------
+
+#: E16 protocol timing: a small resident network with brisk remaps (so
+#: the epoch-keyed answer cache sees several invalidations per trial)
+#: and a reply window shorter than the batch interval (so the serving
+#: loop never runs the clock past a batch boundary). Identical across
+#: the sweep — trials differ only in offered load.
+SERVICE_TIMING = dict(
+    n_nodes=24,
+    sample_interval=10.0,
+    summary_interval=60.0,
+    remap_interval=180.0,
+    query_interval=12.0,
+    query_reply_window=8.0,
+)
+
+
+def query_service(
+    seed: int = 1, loads: Sequence[float] = (0.05, 0.2, 0.6, 1.5)
+) -> List[Tuple[float, List[ExperimentSpec]]]:
+    """SCOOP vs LOCAL serving an external query stream at rising load.
+
+    Each trial keeps one resident deployment behind the serving layer
+    (:mod:`repro.service`): Poisson request arrivals at ``service_qps``
+    are admitted against a bounded queue, coalesced per cache bucket,
+    batched once per query interval, and answered from an epoch-keyed
+    hot cache when possible. The scenario's headline series are the
+    latency percentiles, cache hit rate and shed rate as offered load
+    sweeps past the batch capacity.
+    """
+    out = []
+    for qps in loads:
+        pair = [
+            _spec(
+                policy,
+                "gaussian",
+                SYNTH_DOMAIN,
+                seed,
+                service_qps=qps,
+                **SERVICE_TIMING,
+            )
+            for policy in ("scoop", "local")
+        ]
+        out.append((qps, pair))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Campaign-facing registry: scenario name -> labelled trial list
 # ----------------------------------------------------------------------
 #
@@ -598,6 +648,16 @@ def _scn_multi_attribute(seed: int) -> LabelledSpecs:
     ]
 
 
+@register_scenario("query_service", alias="E16")
+def _scn_query_service(seed: int) -> LabelledSpecs:
+    """SCOOP vs LOCAL behind the query gateway at rising offered load."""
+    return [
+        (f"qps={qps:g}/{s.policy}", s)
+        for qps, specs in query_service(seed)
+        for s in specs
+    ]
+
+
 @register_scenario("smoke")
 def _scn_smoke(seed: int) -> LabelledSpecs:
     """14-node micro-grid with short timers for CI and engine tests."""
@@ -619,12 +679,22 @@ def scenario_description(name: str) -> str:
     return SCENARIOS[canonical_scenario_name(name)].description
 
 
+def unknown_scenario_error(name: str) -> ValueError:
+    """The uniform unknown-scenario error every entry point raises:
+    close-match suggestions over names *and* E/A aliases, plus the
+    registry pointer."""
+    candidates = list(SCENARIOS) + list(SCENARIO_ALIASES)
+    close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
+    hint = f" (did you mean {', '.join(repr(c) for c in close)}?)" if close else ""
+    return ValueError(
+        f"unknown scenario {name!r}{hint}; "
+        "`python -m repro.experiments list` shows the registry"
+    )
+
+
 def scenario_trials(name: str, seed: int = 1) -> LabelledSpecs:
     """Expand scenario ``name`` (or an E/A alias) into labelled specs."""
     canonical = canonical_scenario_name(name)
     if canonical not in SCENARIOS:
-        raise ValueError(
-            f"unknown scenario {name!r}; "
-            "`python -m repro.experiments list` shows the registry"
-        )
+        raise unknown_scenario_error(name)
     return SCENARIOS[canonical].build(seed)

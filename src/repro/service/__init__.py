@@ -1,0 +1,32 @@
+"""Scoop as a service: resident deployments and the query gateway.
+
+:class:`~repro.service.deployment.Deployment` is the canonical way to
+wire and run a Scoop network — the batch runner
+(:func:`repro.experiments.runner.run_experiment`) is a thin driver over
+it, and the asyncio gateway (:mod:`repro.service.gateway`) keeps one
+resident per tenant and multiplexes concurrent client query streams with
+admission control and an epoch-keyed answer cache.
+"""
+
+from repro.service.deployment import Deployment
+from repro.service.gateway import (
+    AnswerCache,
+    QueryGateway,
+    ServiceLimits,
+    ServiceTicket,
+    TenantService,
+    serve_gateway,
+)
+from repro.service.loadtest import build_arrivals, drive_load
+
+__all__ = [
+    "AnswerCache",
+    "Deployment",
+    "QueryGateway",
+    "ServiceLimits",
+    "ServiceTicket",
+    "TenantService",
+    "build_arrivals",
+    "drive_load",
+    "serve_gateway",
+]

@@ -171,6 +171,11 @@ class TrialMetrics:
     #: precision violations (returned readings the oracle says were never
     #: produced — always 0 unless the pipeline corrupts data).
     oracle: Dict[str, float] = field(default_factory=dict)
+    #: Serving-layer scorecard for query-service trials (E16): offered /
+    #: served / shed request counts, cache hit rate, latency and
+    #: staleness percentiles — all simulated-time quantities, so fully
+    #: deterministic in the spec. Empty for plain batch trials.
+    service: Dict[str, float] = field(default_factory=dict)
     #: Simulated seconds this trial covered (stabilization + measured +
     #: drain).
     sim_time_s: float = 0.0
@@ -197,6 +202,7 @@ class TrialMetrics:
             "survival": dict(self.survival),
             "attributes": {k: dict(v) for k, v in self.attributes.items()},
             "oracle": dict(self.oracle),
+            "service": dict(self.service),
             "sim_time_s": self.sim_time_s,
             "wall_clock_s": self.wall_clock_s,
             "timing": dict(self.timing),
@@ -222,6 +228,7 @@ class TrialMetrics:
         tracker: Optional["DeliveryTracker"] = None,
         attributes: Optional[Dict[str, Dict[str, float]]] = None,
         oracle: Optional[Dict[str, float]] = None,
+        service: Optional[Dict[str, float]] = None,
         timing: Optional[Dict[str, float]] = None,
     ) -> "TrialMetrics":
         """Fold one trial's accounting objects into a metrics record.
@@ -262,6 +269,7 @@ class TrialMetrics:
             ),
             attributes=dict(attributes or {}),
             oracle=dict(oracle or {}),
+            service=dict(service or {}),
             sim_time_s=sim_time_s,
             wall_clock_s=wall_clock_s,
             timing=dict(timing or {}),
