@@ -1,8 +1,22 @@
-"""Weekly-cron gate: shape assertions on the full-scale E16 export.
+"""CI gates for the E16 serving story.
 
-Reads the latest ``query_service`` campaign export (written by
-``REPRO_FULL=1 ... run query_service --export``) and checks the serving
-story's qualitative shape, per policy across the offered-load sweep:
+Two modes:
+
+* default — shape assertions on the full-scale campaign export.
+* ``--serve REPORT [REPORT ...]`` — gate the *sharded socket* serving
+  path: each REPORT is the JSON written by
+  ``python -m repro.experiments serve query_service --loadtest FILE``
+  (real worker processes, real TCP, concurrent clients). Checks per
+  report: zero protocol errors, zero failed/malformed clients, every
+  offered request answered or explicitly shed, and a per-shard metrics
+  breakdown that actually covers the fleet (every shard served
+  requests, a live worker pid, the tenant count adds up). Given several
+  reports (e.g. ``--workers 1`` and ``--workers 2`` runs), their
+  ``answers_digest`` values must be identical — the shard-determinism
+  invariant over real sockets.
+
+Default-mode detail — the campaign export checks the serving story's
+qualitative shape, per policy across the offered-load sweep:
 
 * tail latency degrades with load — p95 and p99 are monotone
   non-decreasing (within a cross-seed slack) and strictly worse at the
@@ -18,6 +32,8 @@ story's qualitative shape, per policy across the offered-load sweep:
   must never fabricate a reading (zero precision violations).
 """
 
+import argparse
+import json
 import sys
 
 from repro.experiments.export import latest_export, load_campaign_export
@@ -31,6 +47,55 @@ SHED_SLACK = 0.02
 
 def mean(values):
     return sum(values) / len(values)
+
+
+def check_serve_report(path: str) -> dict:
+    """Gate one socket-loadtest report; returns it for cross-report
+    digest comparison."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    label = report.get("label", path)
+    counts = report["counts"]
+    stats = report["stats"]
+
+    assert counts["failed"] == 0, (label, report["errors"])
+    assert counts["malformed"] == 0, (label, counts)
+    offered = report["clients"] * report["requests_per_client"]
+    assert counts["ok"] + counts["shed"] == offered, (label, counts)
+    assert counts["ok"] > 0, (label, counts)
+
+    # The wire stayed clean: no framing violations, no close-outs.
+    protocol = stats["protocol"]
+    assert protocol["protocol_errors"] == 0, (label, protocol)
+    assert protocol["requests"] >= offered, (label, protocol)
+
+    # Per-shard metrics cover the fleet.
+    shards = stats["shards"]
+    expected_shards = min(report["workers"], len(report["tenants"]))
+    assert len(shards) == expected_shards, (label, sorted(shards))
+    tenants_placed = 0
+    for name, shard in sorted(shards.items()):
+        assert shard["requests_served"] > 0, (label, name, shard)
+        assert shard["worker_pid"] > 0, (label, name, shard)
+        tenants_placed += int(shard["tenants"])
+    assert tenants_placed == len(report["tenants"]), (label, shards)
+
+    print(
+        f"{label}: workers={report['workers']} shards={len(shards)} "
+        f"ok={counts['ok']} shed={counts['shed']} "
+        f"qps={report['qps']:.1f} digest={report['answers_digest'][:12]}"
+    )
+    return report
+
+
+def main_serve(paths) -> int:
+    reports = [check_serve_report(path) for path in paths]
+    digests = {r["answers_digest"] for r in reports}
+    assert len(digests) == 1, {
+        r.get("label", i): r["answers_digest"] for i, r in enumerate(reports)
+    }
+    print(f"serve reports OK ({len(reports)} report(s), digests identical)")
+    return 0
 
 
 def main() -> int:
@@ -84,4 +149,13 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--serve",
+        nargs="+",
+        metavar="REPORT",
+        help="gate socket-loadtest JSON report(s) instead of the "
+        "campaign export; several reports must agree on answers_digest",
+    )
+    cli_args = parser.parse_args()
+    sys.exit(main_serve(cli_args.serve) if cli_args.serve else main())

@@ -14,14 +14,42 @@ reading.
 The median is deliberately not gated: at high load most requests are
 cache hits served at ~zero latency, so p50 *improves* while the tails
 collapse — that inversion is the scenario's most instructive output.
+
+A second benchmark exercises the *sharded* serving stack end to end:
+real worker processes behind a real TCP server, driven by concurrent
+client connections (`repro.service.loadtest.drive_socket_load`). Its
+hard gate is the tentpole invariant — per-tenant answer transcripts are
+bit-identical across worker counts. The throughput scaling gate (4
+workers ≥ 2x 1 worker on the committed load point) only arms on hosts
+with ≥4 CPUs; on smaller boxes extra processes cannot speed anything up
+and the assertion would test the scheduler, not the system.
 """
+
+import asyncio
+import os
 
 from _harness import emit, run_specs
 
+from repro.core.config import ScoopConfig, ValueDomain
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentSpec
 from repro.experiments.scenarios import query_service
+from repro.service import ShardedGateway, drive_socket_load, serve_framed
 
 LOADS = (0.05, 0.2, 0.6, 1.5)
+
+#: The committed load point for the socket benchmark: worker counts
+#: swept over a fixed fleet of concurrent clients replaying fixed
+#: programs (seeded), one client per tenant.
+SOCKET_WORKERS = (1, 2, 4)
+SOCKET_TENANTS = 4
+SOCKET_CLIENTS = 4
+SOCKET_REQUESTS = 25
+SOCKET_SEED = 11
+
+#: Required 4-vs-1 worker speedup on the committed load point — only
+#: gated where the host actually has the cores to show it.
+MIN_SPEEDUP = 2.0
 
 #: Seed-to-seed slack on adjacent-load tail-latency comparisons, in
 #: simulated seconds (different loads coalesce different request mixes;
@@ -108,3 +136,107 @@ def test_query_service(benchmark):
                 qps,
                 policy,
             )
+
+
+def _socket_spec() -> ExperimentSpec:
+    """The socket benchmark's committed deployment: a 25-mote grid so
+    each served query does real simulator work (boot stays ~a second per
+    tenant). Distinct from the E16 sweep specs — this one measures the
+    serving *stack*, not the serving *policy*."""
+    config = ScoopConfig(
+        domain=ValueDomain(0, 100),
+        n_nodes=25,
+        sample_interval=10.0,
+        summary_interval=60.0,
+        remap_interval=300.0,
+        query_interval=12.0,
+        query_reply_window=8.0,
+        duration=600.0,
+        stabilization=60.0,
+    )
+    return ExperimentSpec(
+        policy="scoop",
+        workload="gaussian",
+        scoop=config,
+        seed=SOCKET_SEED,
+        topology_kind="grid",
+    )
+
+
+async def _serve_and_drive(workers: int) -> dict:
+    gateway = ShardedGateway(
+        _socket_spec(), tenants=SOCKET_TENANTS, workers=workers
+    )
+    await gateway.start()
+    server = await serve_framed(gateway)
+    try:
+        await gateway.wait_ready()
+        report = await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: drive_socket_load(
+                "127.0.0.1",
+                server.port,
+                clients=SOCKET_CLIENTS,
+                requests=SOCKET_REQUESTS,
+                seed=SOCKET_SEED,
+                keep_answers=False,
+            ),
+        )
+    finally:
+        await server.close()
+        await gateway.close()
+    return report
+
+
+def test_sharded_socket_serving(benchmark):
+    def run():
+        return {w: asyncio.run(_serve_and_drive(w)) for w in SOCKET_WORKERS}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for workers in SOCKET_WORKERS:
+        report = reports[workers]
+        stats = report["stats"]
+        rows.append(
+            [
+                str(workers),
+                str(len(stats["shards"])),
+                f"{report['qps']:.1f}",
+                str(report["counts"]["ok"]),
+                str(report["counts"]["shed"]),
+                report["answers_digest"][:12],
+            ]
+        )
+    emit(
+        "query_service_sockets",
+        format_table(
+            ["workers", "shards", "qps", "ok", "shed", "digest"],
+            rows,
+            "E16: sharded socket serving — worker-count sweep "
+            f"({SOCKET_CLIENTS} clients x {SOCKET_REQUESTS} requests)",
+        ),
+    )
+
+    expected = SOCKET_CLIENTS * SOCKET_REQUESTS
+    for workers in SOCKET_WORKERS:
+        report = reports[workers]
+        assert report["workers"] == workers
+        assert report["counts"]["failed"] == 0, report["errors"]
+        assert report["counts"]["malformed"] == 0
+        assert report["counts"]["ok"] + report["counts"]["shed"] == expected
+        assert report["stats"]["protocol"]["protocol_errors"] == 0
+        assert len(report["stats"]["shards"]) == min(workers, SOCKET_TENANTS)
+
+    # The tentpole invariant: worker count is invisible in the answers.
+    digests = {reports[w]["answers_digest"] for w in SOCKET_WORKERS}
+    assert len(digests) == 1, {
+        w: reports[w]["answers_digest"] for w in SOCKET_WORKERS
+    }
+
+    # Scaling only gates where the host has cores to scale onto.
+    if (os.cpu_count() or 1) >= 4:
+        speedup = reports[4]["qps"] / reports[1]["qps"]
+        assert speedup >= MIN_SPEEDUP, {
+            w: round(reports[w]["qps"], 1) for w in SOCKET_WORKERS
+        }

@@ -11,9 +11,12 @@ Usage:
     python -m repro.experiments plot [<scenario>|<export.json>]
                                     [--export-dir DIR] [--output DIR]
                                     [--format svg|png|svg,png]
-    python -m repro.experiments serve <scenario> [--tenants N] [--port P]
-                                    [--host H] [--duration S] [--scale S]
-                                    [--base-seed B] [--export] [--export-dir DIR]
+    python -m repro.experiments serve <scenario> [--tenants N] [--workers W]
+                                    [--port P] [--host H] [--duration S]
+                                    [--scale S] [--base-seed B] [--jsonl]
+                                    [--loadtest [FILE]] [--clients N]
+                                    [--requests N]
+                                    [--export] [--export-dir DIR]
     python -m repro.experiments list
     python -m repro.experiments clear-cache [--cache-dir DIR]
 
@@ -28,9 +31,13 @@ writes the campaign's canonical JSON document under
 ``benchmarks/results/campaigns/``; ``report`` renders the markdown figure
 table and ``plot`` the Figure-3/4/5-style charts of the latest (or a
 given) export — neither re-runs anything. ``serve`` boots a scenario's
-spec as resident deployments (one per tenant) behind the asyncio query
-gateway and answers JSON-lines queries over TCP (E16's serving layer,
-interactively).
+spec as resident deployments (one per tenant), shards them across
+``--workers`` worker processes, and answers framed-protocol queries over
+TCP (E16's serving layer; clients connect with
+``repro.service.ScoopClient``). ``--jsonl`` keeps the deprecated
+single-process JSON-lines transport; ``--loadtest`` drives the bound
+server from ``--clients`` real concurrent connections and reports the
+run as JSON — the nightly real-socket E16 job.
 """
 
 from __future__ import annotations
@@ -150,7 +157,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve a scenario's deployment over TCP (JSON-lines query gateway)",
+        help="serve a scenario's deployments over TCP (framed protocol, "
+        "sharded across worker processes)",
     )
     serve.add_argument(
         "scenario",
@@ -159,6 +167,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--tenants", type=int, default=1, help="resident deployments (one per tenant)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes the tenants are sharded across (framed "
+        "protocol mode; ignored with --jsonl)",
+    )
+    serve.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="serve the deprecated single-process JSON-lines protocol "
+        "instead of the framed one",
+    )
+    serve.add_argument(
+        "--loadtest",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="after binding, drive the server from --clients real "
+        "concurrent connections, write the JSON report to FILE "
+        "('-' = stdout), then exit",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=2,
+        help="concurrent loadtest connections (with --loadtest)",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=40,
+        help="requests per loadtest client (with --loadtest)",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -384,7 +427,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments.campaign import _scale_override
-    from repro.service import QueryGateway, serve_gateway
+    from repro.service import (
+        PROTOCOL_VERSION,
+        QueryGateway,
+        ScoopServer,
+        ShardedGateway,
+        serve_gateway,
+    )
 
     name = canonical_scenario_name(args.scenario)
     if name not in SCENARIOS:
@@ -393,54 +442,141 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.tenants < 1:
         print(f"error: need at least one tenant, got {args.tenants}", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"error: need at least one worker, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.jsonl and args.loadtest is not None:
+        print(
+            "error: --loadtest drives the framed protocol; it cannot be "
+            "combined with --jsonl",
+            file=sys.stderr,
+        )
+        return 2
     with _scale_override(args.scale):
         trials = scenario_trials(name, seed=args.base_seed)
     label, spec = next(
         ((lbl, s) for lbl, s in trials if s.policy == "scoop"), trials[0]
     )
+    report_holder: dict = {}
 
     async def _serve() -> dict:
-        print(
-            f"booting {args.tenants} tenant(s) of {name} ({label}) — "
-            "each runs its warm-up to completion..."
-        )
-        gateway = QueryGateway.from_spec(
-            spec,
-            tenants=args.tenants,
-            base_seed=args.base_seed,
-            progress=lambda tenant: print(f"  {tenant}: deployment live"),
-        )
-        await gateway.start()
-        server = await serve_gateway(gateway, host=args.host, port=args.port)
-        bound = server.sockets[0].getsockname()
-        print(
-            f"serving on {bound[0]}:{bound[1]} — JSON lines, e.g. "
-            '{"op": "query", "tenant": "tenant0", "attr": 0, "lo": 10, "hi": 30}'
-        )
+        if args.jsonl:
+            print(
+                f"booting {args.tenants} tenant(s) of {name} ({label}) "
+                "in-process — each runs its warm-up to completion..."
+            )
+            gateway = QueryGateway.from_spec(
+                spec,
+                tenants=args.tenants,
+                base_seed=args.base_seed,
+                progress=lambda tenant: print(f"  {tenant}: deployment live"),
+            )
+            await gateway.start()
+            jsonl_server = await serve_gateway(
+                gateway, host=args.host, port=args.port
+            )
+            bound = jsonl_server.sockets[0].getsockname()
+            print(
+                f"serving on {bound[0]}:{bound[1]} — JSON lines "
+                "(deprecated; prefer repro.service.ScoopClient), e.g. "
+                '{"op": "query", "tenant": "tenant0", "attr": 0, "lo": 10, "hi": 30}'
+            )
+            server_close = jsonl_server.close
+            server_wait = jsonl_server.wait_closed
+            server = None
+        else:
+            gateway = ShardedGateway(
+                spec,
+                tenants=args.tenants,
+                workers=args.workers,
+                base_seed=args.base_seed,
+            )
+            await gateway.start()
+            server = ScoopServer(gateway, host=args.host, port=args.port)
+            await server.start()
+            print(
+                f"serving on {server.host}:{server.port} — framed protocol "
+                f"v{PROTOCOL_VERSION}, {gateway.workers} worker(s); connect "
+                "with repro.service.ScoopClient"
+            )
+            print(
+                f"booting {args.tenants} tenant(s) of {name} ({label}) "
+                "across the shard pool (client hellos block until ready)..."
+            )
+            await gateway.wait_ready()
+            print(f"all shards ready: tenants {gateway.tenants}")
+            server_close = server.close
+            server_wait = None
         try:
-            if args.duration is not None:
+            if args.loadtest is not None:
+                from repro.service.loadtest import drive_socket_load
+
+                dial = "127.0.0.1" if args.host == "0.0.0.0" else args.host
+                port = server.port
+                report = await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    lambda: drive_socket_load(
+                        dial,
+                        port,
+                        clients=args.clients,
+                        requests=args.requests,
+                        seed=args.base_seed,
+                    ),
+                )
+                report["scenario"] = name
+                report["label"] = label
+                report_holder["report"] = report
+            elif args.duration is not None:
                 await asyncio.sleep(args.duration)
             else:
                 await asyncio.Event().wait()  # until Ctrl-C
         finally:
-            server.close()
-            await server.wait_closed()
-            await gateway.close()
-        return gateway.stats()
+            result = server_close()
+            if asyncio.iscoroutine(result):
+                await result
+            if server_wait is not None:
+                await server_wait()
+        stats = await gateway.service_stats()
+        await gateway.close()
+        return stats.to_wire()
 
     try:
         stats = asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nshutting down")
         return 0
-    for tenant in sorted(stats):
-        snap = stats[tenant]
+    if report_holder:
+        report = report_holder["report"]
+        counts = report["counts"]
+        print(
+            f"loadtest: {args.clients} client(s) x {args.requests} requests "
+            f"-> {counts['ok']} ok, {counts['shed']} shed, "
+            f"{counts['failed']} failed, {report['qps']:.1f} req/s "
+            f"over {report['elapsed_s']:.2f}s"
+        )
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.loadtest == "-":
+            print(payload)
+        else:
+            Path(args.loadtest).write_text(payload)
+            print(f"loadtest report: {args.loadtest}")
+    tenants_stats = stats.get("tenants", {})
+    for tenant in sorted(tenants_stats):
+        snap = tenants_stats[tenant]
         print(
             f"{tenant}: {snap['requests_offered']:.0f} offered, "
             f"{snap['requests_served']:.0f} served, "
             f"{snap['requests_shed']:.0f} shed, "
             f"hit rate {snap['cache_hit_rate']:.2f}, "
             f"p95 latency {snap['latency_p95_s']:.2f}s (simulated)"
+        )
+    for shard in sorted(stats.get("shards", {})):
+        snap = stats["shards"][shard]
+        print(
+            f"{shard}: {snap['tenants']:.0f} tenant(s), "
+            f"{snap['requests_served']:.0f} served, "
+            f"{snap['requests_shed']:.0f} shed, "
+            f"queue depth {snap['queue_depth']:.0f}"
         )
     if args.export:
         out_dir = Path(args.export_dir) if args.export_dir else default_export_root()
@@ -449,7 +585,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         path = out_dir / f"{name}_serve_{stamp}.json"
         path.write_text(
             json.dumps(
-                {"scenario": name, "label": label, "tenants": stats}, indent=2
+                {"scenario": name, "label": label, **stats}, indent=2
             )
         )
         print(f"export: {path}")

@@ -72,8 +72,10 @@ TOPOLOGY_KINDS = ("testbed", "geometric", "line", "grid")
 #: (simulator event counts/throughput) and the radio draws its randomness
 #: from a dedicated batched stream, which changes trial trajectories. v6:
 #: specs grew the serving-layer knobs (E16: ``service_qps`` and the
-#: gateway limits) and metrics a ``service`` scorecard.
-SPEC_SCHEMA_VERSION = 6
+#: gateway limits) and metrics a ``service`` scorecard. v7: metrics
+#: carry the per-shard serving breakdown (``service_shards``) that the
+#: sharded multi-process gateway reports.
+SPEC_SCHEMA_VERSION = 7
 
 
 @dataclass
@@ -446,6 +448,7 @@ def _collect(
     queries_issued: int,
     wall_clock_s: float = 0.0,
     service: Optional[Dict[str, float]] = None,
+    service_shards: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> ExperimentResult:
     census = net.census
     tracker = net.tracker
@@ -472,6 +475,7 @@ def _collect(
         attributes=attributes,
         oracle=oracle,
         service=service,
+        service_shards=service_shards,
         timing=timing,
     )
     return ExperimentResult(

@@ -1,32 +1,80 @@
-"""Scoop as a service: resident deployments and the query gateway.
+"""Scoop as a service: resident deployments, shards, protocol, clients.
 
 :class:`~repro.service.deployment.Deployment` is the canonical way to
 wire and run a Scoop network — the batch runner
 (:func:`repro.experiments.runner.run_experiment`) is a thin driver over
-it, and the asyncio gateway (:mod:`repro.service.gateway`) keeps one
-resident per tenant and multiplexes concurrent client query streams with
-admission control and an epoch-keyed answer cache.
+it. On top of it sit two serving modes behind one duck-type contract:
+
+* in-process — :class:`~repro.service.gateway.QueryGateway`, one
+  resident deployment per tenant in this interpreter (bit-identical to
+  the batch path; what the oracle and cache-replay gates pin);
+* sharded — :class:`~repro.service.shard.ShardedGateway`, tenants placed
+  across a pool of worker processes.
+
+Either gateway is served over TCP by
+:class:`~repro.service.server.ScoopServer` speaking the framed protocol
+of :mod:`repro.service.protocol`, and the supported client entry points
+are :class:`~repro.service.client.ScoopClient` /
+:class:`~repro.service.client.AsyncScoopClient`. The only types crossing
+that boundary are the frozen dataclasses of :mod:`repro.service.api`
+(:class:`~repro.service.api.QueryRequest`,
+:class:`~repro.service.api.QueryAnswer`, ...) and its typed exceptions.
 """
 
-from repro.service.deployment import Deployment
-from repro.service.gateway import (
-    AnswerCache,
-    QueryGateway,
-    ServiceLimits,
-    ServiceTicket,
-    TenantService,
-    serve_gateway,
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    MalformedRequestError,
+    ProtocolError,
+    ProtocolVersionError,
+    QueryAnswer,
+    QueryRequest,
+    ServiceError,
+    ServiceFault,
+    ServiceStats,
+    ServiceUnavailableError,
+    ShedError,
 )
-from repro.service.loadtest import build_arrivals, drive_load
+from repro.service.client import AsyncScoopClient, ScoopClient
+from repro.service.deployment import Deployment
+from repro.service.gateway import QueryGateway, ServiceLimits, serve_gateway
+from repro.service.loadtest import (
+    answers_digest,
+    build_arrivals,
+    build_client_program,
+    drive_load,
+    drive_socket_load,
+)
+from repro.service.server import ScoopServer, serve_framed
+from repro.service.shard import ShardedGateway
+
+# ServiceTicket / TenantService / AnswerCache are deliberately NOT
+# re-exported: they are gateway internals, and a test
+# (tests/unit/test_api_boundary.py) fails any outside import of them.
 
 __all__ = [
-    "AnswerCache",
+    "PROTOCOL_VERSION",
+    "AsyncScoopClient",
     "Deployment",
+    "MalformedRequestError",
+    "ProtocolError",
+    "ProtocolVersionError",
+    "QueryAnswer",
     "QueryGateway",
+    "QueryRequest",
+    "ScoopClient",
+    "ScoopServer",
+    "ServiceError",
+    "ServiceFault",
     "ServiceLimits",
-    "ServiceTicket",
-    "TenantService",
+    "ServiceStats",
+    "ServiceUnavailableError",
+    "ShardedGateway",
+    "ShedError",
+    "answers_digest",
     "build_arrivals",
+    "build_client_program",
     "drive_load",
+    "drive_socket_load",
+    "serve_framed",
     "serve_gateway",
 ]

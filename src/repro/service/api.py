@@ -1,0 +1,415 @@
+"""The public, versioned service API: the only types that cross the wire.
+
+Every request/response that leaves the serving layer is one of the
+frozen dataclasses here — :class:`QueryRequest` in, :class:`QueryAnswer`
+(or :class:`ServiceError`) out, :class:`ServiceStats` for telemetry.
+Raw gateway dicts and :class:`~repro.service.gateway.ServiceTicket`\\ s
+never escape ``repro.service``; a grep-enforced test
+(``tests/unit/test_api_boundary.py``) keeps it that way.
+
+Two codecs serialize the same types:
+
+* the framed binary protocol (:mod:`repro.service.protocol`) — the
+  supported transport, spoken by :class:`~repro.service.client.ScoopClient`;
+* the legacy JSON-lines protocol (:func:`encode_jsonl_answer` et al.) —
+  deprecated but wire-compatible with the PR-7 gateway, byte-for-byte
+  (pinned by a golden-bytes test), so old scripts keep working against
+  ``serve --jsonl``.
+
+Failure surfaces as *typed exceptions*, never as strings for callers to
+pattern-match: overload sheds raise :class:`ShedError`, client mistakes
+raise :class:`MalformedRequestError`, version skew raises
+:class:`ProtocolVersionError`, framing violations raise
+:class:`ProtocolError`. :func:`error_to_exception` /
+:func:`exception_to_error` map between exceptions and their wire form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Version of the service API and wire protocol. Clients send it in
+#: their hello; servers refuse (with :class:`ProtocolVersionError`) any
+#: hello whose version they do not speak. Bump on any incompatible
+#: change to the frame layout or the payload schemas below.
+PROTOCOL_VERSION = 1
+
+#: Answers truncate their inline reading list at this many tuples (the
+#: full count still rides in ``n_readings``) — the same bound the PR-7
+#: JSON-lines protocol applied, kept so both codecs stay wire-compatible.
+MAX_WIRE_READINGS = 50
+
+
+# ----------------------------------------------------------------------
+# Typed exceptions
+# ----------------------------------------------------------------------
+class ServiceFault(Exception):
+    """Base of every typed service failure.
+
+    ``code`` is the stable wire identifier (``shed``, ``malformed``,
+    ``version``, ``protocol``, ``unavailable``); ``seq`` correlates the
+    failure to the request that caused it (0 for connection-level
+    faults).
+    """
+
+    code = "error"
+
+    def __init__(self, message: str, seq: int = 0):
+        super().__init__(message)
+        self.seq = seq
+
+
+class ShedError(ServiceFault):
+    """The service is overloaded and shed this request.
+
+    An overload signal, not a client mistake — back off and retry.
+    """
+
+    code = "shed"
+
+
+class MalformedRequestError(ServiceFault):
+    """The request itself was invalid (unknown tenant/attribute,
+    out-of-domain or empty range, unparseable payload)."""
+
+    code = "malformed"
+
+
+class ProtocolVersionError(ServiceFault):
+    """Client and server do not share a protocol version."""
+
+    code = "version"
+
+
+class ProtocolError(ServiceFault):
+    """The byte stream violated the framing protocol (oversize frame,
+    unknown frame type, malformed payload)."""
+
+    code = "protocol"
+
+
+class ServiceUnavailableError(ServiceFault):
+    """The service exists but cannot answer (shard down, gateway
+    closed)."""
+
+    code = "unavailable"
+
+
+#: Wire code -> exception class (the inverse of each class's ``code``).
+_FAULTS = {
+    exc.code: exc
+    for exc in (
+        ShedError,
+        MalformedRequestError,
+        ProtocolVersionError,
+        ProtocolError,
+        ServiceUnavailableError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Request / answer / error / stats
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryRequest:
+    """One range query, in the client's own terms.
+
+    ``lo``/``hi`` of ``None`` default to the attribute's domain bounds
+    server-side. ``seq`` is the connection-scoped correlation id; clients
+    stamp it, callers constructing requests by hand may leave it 0.
+    """
+
+    tenant: str = "tenant0"
+    attr: int = 0
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    seq: int = 0
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "attr": self.attr,
+            "lo": self.lo,
+            "hi": self.hi,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, object]) -> "QueryRequest":
+        try:
+            return cls(
+                tenant=str(data.get("tenant", "tenant0")),
+                attr=int(data.get("attr", 0)),
+                lo=None if data.get("lo") is None else int(data["lo"]),
+                hi=None if data.get("hi") is None else int(data["hi"]),
+                seq=int(data.get("seq", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise MalformedRequestError(f"bad query request: {exc}") from None
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One answered (or shed) request, the only response type.
+
+    ``status`` is ``"ok"`` or ``"shed"``; clients never see the string —
+    :class:`~repro.service.client.ScoopClient` raises :class:`ShedError`
+    instead. ``readings`` carries at most :data:`MAX_WIRE_READINGS`
+    ``(value, time, node)`` tuples; ``n_readings`` is the untruncated
+    count. ``shard`` names the worker that served the answer
+    (``"shard0"`` in single-process mode) — diagnostic only, never part
+    of the deprecated JSON-lines form.
+    """
+
+    tenant: str
+    seq: int
+    attr: int
+    lo: int
+    hi: int
+    status: str = "ok"
+    readings: Tuple[Tuple[int, float, int], ...] = ()
+    n_readings: int = 0
+    latency_s: float = 0.0
+    cache_hit: bool = False
+    staleness_s: float = 0.0
+    epoch: int = -1
+    shard: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def from_ticket(cls, ticket, shard: str = "") -> "QueryAnswer":
+        """Fold one service-internal ticket into its public form."""
+        return cls(
+            tenant=ticket.tenant,
+            seq=ticket.seq,
+            attr=ticket.attr,
+            lo=ticket.lo,
+            hi=ticket.hi,
+            status=ticket.status,
+            readings=tuple(
+                tuple(r) for r in ticket.readings[:MAX_WIRE_READINGS]
+            ),
+            n_readings=len(ticket.readings),
+            latency_s=round(ticket.latency_s, 6),
+            cache_hit=ticket.cache_hit,
+            staleness_s=round(ticket.staleness_s, 6),
+            epoch=ticket.epoch,
+            shard=shard,
+        )
+
+    def to_wire(self) -> Dict[str, object]:
+        wire = self.to_jsonl_dict()
+        wire["shard"] = self.shard
+        return wire
+
+    def to_jsonl_dict(self) -> Dict[str, object]:
+        """The deprecated JSON-lines response body — key set and order
+        are frozen to the PR-7 ``ServiceTicket.to_dict`` wire format."""
+        return {
+            "status": self.status,
+            "tenant": self.tenant,
+            "seq": self.seq,
+            "attr": self.attr,
+            "lo": self.lo,
+            "hi": self.hi,
+            "latency_s": self.latency_s,
+            "cache_hit": self.cache_hit,
+            "staleness_s": self.staleness_s,
+            "epoch": self.epoch,
+            "n_readings": self.n_readings,
+            "readings": [list(r) for r in self.readings],
+        }
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, object]) -> "QueryAnswer":
+        try:
+            return cls(
+                tenant=str(data["tenant"]),
+                seq=int(data["seq"]),
+                attr=int(data["attr"]),
+                lo=int(data["lo"]),
+                hi=int(data["hi"]),
+                status=str(data.get("status", "ok")),
+                readings=tuple(
+                    (int(v), float(t), int(n)) for v, t, n in data["readings"]
+                ),
+                n_readings=int(data["n_readings"]),
+                latency_s=float(data["latency_s"]),
+                cache_hit=bool(data["cache_hit"]),
+                staleness_s=float(data["staleness_s"]),
+                epoch=int(data["epoch"]),
+                shard=str(data.get("shard", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad query answer payload: {exc}") from None
+
+
+@dataclass(frozen=True)
+class ServiceError:
+    """A failure in wire form; maps 1:1 onto the typed exceptions."""
+
+    code: str
+    message: str
+    seq: int = 0
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"code": self.code, "message": self.message, "seq": self.seq}
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, object]) -> "ServiceError":
+        try:
+            return cls(
+                code=str(data["code"]),
+                message=str(data["message"]),
+                seq=int(data.get("seq", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad error payload: {exc}") from None
+
+
+def error_to_exception(error: ServiceError) -> ServiceFault:
+    """The typed exception a :class:`ServiceError` frame stands for."""
+    fault = _FAULTS.get(error.code, ServiceFault)
+    exc = fault(error.message, seq=error.seq)
+    exc.code = error.code
+    return exc
+
+
+def exception_to_error(exc: ServiceFault) -> ServiceError:
+    return ServiceError(code=exc.code, message=str(exc), seq=exc.seq)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Service-wide telemetry: the per-tenant serving scorecards plus
+    the per-shard and per-listener (protocol) breakdowns."""
+
+    #: tenant name -> serving scorecard (the ``TenantService.snapshot()``
+    #: keys: offered/served/shed, latency percentiles, cache hits, ...).
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: shard name (``"shard0"``...) -> aggregate scorecard of the tenants
+    #: it hosts, plus ``tenants`` (count) and ``worker_pid``.
+    shards: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: listener counters: connections, frames in/out, protocol errors,
+    #: socket-level sheds (credit overruns).
+    protocol: Dict[str, float] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "tenants": {k: dict(v) for k, v in self.tenants.items()},
+            "shards": {k: dict(v) for k, v in self.shards.items()},
+            "protocol": dict(self.protocol),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, object]) -> "ServiceStats":
+        try:
+            return cls(
+                tenants={k: dict(v) for k, v in data.get("tenants", {}).items()},
+                shards={k: dict(v) for k, v in data.get("shards", {}).items()},
+                protocol=dict(data.get("protocol", {})),
+            )
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad stats payload: {exc}") from None
+
+
+def aggregate_shard_stats(
+    tenant_stats: Mapping[str, Mapping[str, float]],
+    worker_pid: int = 0,
+) -> Dict[str, float]:
+    """Fold one shard's per-tenant scorecards into its shard scorecard.
+
+    Counters sum; rates are recomputed from the summed counters (a mean
+    of per-tenant rates would weight idle tenants equally with busy
+    ones); the latency figure kept is the max per-tenant p95 — the
+    shard's worst tenant is what a load balancer would act on.
+    """
+    offered = sum(s.get("requests_offered", 0.0) for s in tenant_stats.values())
+    served = sum(s.get("requests_served", 0.0) for s in tenant_stats.values())
+    shed = sum(s.get("requests_shed", 0.0) for s in tenant_stats.values())
+    hits = sum(s.get("cache_hits", 0.0) for s in tenant_stats.values())
+    return {
+        "tenants": float(len(tenant_stats)),
+        "worker_pid": float(worker_pid),
+        "requests_offered": offered,
+        "requests_served": served,
+        "requests_shed": shed,
+        "shed_rate": shed / offered if offered else 0.0,
+        "cache_hits": hits,
+        "cache_hit_rate": hits / served if served else 0.0,
+        "queue_depth": sum(s.get("backlog", 0.0) for s in tenant_stats.values()),
+        "queries_issued": sum(
+            s.get("queries_issued", 0.0) for s in tenant_stats.values()
+        ),
+        "latency_p95_s": max(
+            (s.get("latency_p95_s", 0.0) for s in tenant_stats.values()),
+            default=0.0,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Deprecated JSON-lines codec (wire-compatible with the PR-7 gateway)
+# ----------------------------------------------------------------------
+def encode_jsonl_request(request: QueryRequest) -> bytes:
+    """One JSON-lines query, exactly as PR-7 clients sent it."""
+    return (
+        json.dumps(
+            {
+                "op": "query",
+                "tenant": request.tenant,
+                "attr": request.attr,
+                "lo": request.lo,
+                "hi": request.hi,
+            }
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def decode_jsonl_request(line: bytes) -> Tuple[str, Optional[QueryRequest]]:
+    """Parse one JSON-lines request into ``(op, request)``.
+
+    ``request`` is populated for ``op == "query"`` and ``None`` for the
+    control ops (``ping``, ``stats``). Anything unparseable raises
+    :class:`MalformedRequestError` — the JSON-lines transport reports it
+    as the legacy ``{"status": "error"}`` object.
+    """
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise MalformedRequestError(f"bad JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise MalformedRequestError("request must be a JSON object")
+    op = str(data.get("op", "query"))
+    if op == "query":
+        return op, QueryRequest.from_wire(data)
+    if op in ("ping", "stats"):
+        return op, None
+    raise MalformedRequestError(f"unknown op {op!r}; one of ping, query, stats")
+
+
+def encode_jsonl_answer(answer: QueryAnswer) -> bytes:
+    """One JSON-lines response, byte-identical to the PR-7 wire format
+    (pinned by a golden-bytes test)."""
+    return (json.dumps(answer.to_jsonl_dict()) + "\n").encode("utf-8")
+
+
+def encode_jsonl_error(message: str) -> bytes:
+    return (
+        json.dumps({"status": "error", "error": str(message)}) + "\n"
+    ).encode("utf-8")
+
+
+def decode_jsonl_response(line: bytes) -> Dict[str, object]:
+    """Parse one JSON-lines response object (legacy clients see dicts)."""
+    data = json.loads(line)
+    if not isinstance(data, dict):
+        raise ProtocolError("response must be a JSON object")
+    return data

@@ -34,6 +34,7 @@ import asyncio
 import dataclasses
 import json
 import math
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -41,6 +42,17 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.config import ValueDomain
 from repro.core.messages import WireReading
 from repro.experiments.runner import ExperimentSpec
+from repro.service.api import (
+    MalformedRequestError,
+    QueryAnswer,
+    QueryRequest,
+    ServiceStats,
+    ServiceUnavailableError,
+    aggregate_shard_stats,
+    decode_jsonl_request,
+    encode_jsonl_answer,
+    encode_jsonl_error,
+)
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -395,6 +407,11 @@ class QueryGateway:
         }
         self._workers: List[asyncio.Task] = []
         self._closed = False
+        #: readiness barrier (shares the ShardedGateway duck type). The
+        #: in-process gateway boots its deployments in ``from_spec``, so
+        #: ``start()`` flips it immediately.
+        self.ready = asyncio.Event()
+        self._metrics_tick = 0
 
     @classmethod
     def from_spec(
@@ -430,6 +447,11 @@ class QueryGateway:
     def tenants(self) -> List[str]:
         return sorted(self._services)
 
+    @property
+    def workers(self) -> int:
+        """Worker-process count — 1 by definition for in-process mode."""
+        return 1
+
     def service(self, tenant: str) -> TenantService:
         try:
             return self._services[tenant]
@@ -445,6 +467,7 @@ class QueryGateway:
             self._workers.append(
                 asyncio.create_task(self._worker(name), name=f"gateway-{name}")
             )
+        self.ready.set()
 
     async def _worker(self, name: str) -> None:
         service = self._services[name]
@@ -486,8 +509,51 @@ class QueryGateway:
         self._events[tenant].set()
         return await future
 
+    async def answer(self, request: QueryRequest) -> QueryAnswer:
+        """The public typed entry point (shares the ShardedGateway duck
+        type): one :class:`~repro.service.api.QueryRequest` in, one
+        :class:`~repro.service.api.QueryAnswer` out, typed faults for
+        everything that is not an answer."""
+        try:
+            ticket = await self.query(
+                request.tenant, request.attr, request.lo, request.hi
+            )
+        except RuntimeError as exc:
+            raise ServiceUnavailableError(str(exc), seq=request.seq) from None
+        except ValueError as exc:
+            raise MalformedRequestError(str(exc), seq=request.seq) from None
+        answer = QueryAnswer.from_ticket(ticket, shard="shard0")
+        if answer.seq != request.seq:
+            # The connection-scoped seq is what clients correlate on.
+            answer = dataclasses.replace(answer, seq=request.seq)
+        return answer
+
     def stats(self) -> Dict[str, Dict[str, float]]:
         return {name: svc.snapshot() for name, svc in self._services.items()}
+
+    async def service_stats(self) -> ServiceStats:
+        """Typed stats: every tenant scorecard plus the single-shard
+        aggregate (in-process mode is the one-shard special case)."""
+        tenants = self.stats()
+        return ServiceStats(
+            tenants=tenants,
+            shards={
+                "shard0": aggregate_shard_stats(tenants, worker_pid=os.getpid())
+            },
+        )
+
+    def metrics_snapshots(self) -> Dict[str, Dict[str, object]]:
+        """Live telemetry in the per-shard shape the metrics stream
+        pushes (one synthetic ``shard0`` for in-process mode)."""
+        self._metrics_tick += 1
+        tenants = self.stats()
+        return {
+            "shard0": {
+                "tick": self._metrics_tick,
+                "stats": aggregate_shard_stats(tenants, worker_pid=os.getpid()),
+                "tenants": tenants,
+            }
+        }
 
     async def close(self) -> None:
         self._closed = True
@@ -506,9 +572,17 @@ class QueryGateway:
 async def serve_gateway(
     gateway: QueryGateway, host: str = "127.0.0.1", port: int = 0
 ) -> asyncio.AbstractServer:
-    """Expose a gateway over TCP as a JSON-lines protocol.
+    """Expose a gateway over TCP as the *deprecated* JSON-lines protocol.
 
-    One request object per line; responses are one JSON object per line.
+    One request object per line; responses are one JSON object per line,
+    byte-identical to the PR-7 wire format (pinned by a golden-bytes
+    test). The transport is now just a codec
+    (:func:`repro.service.api.encode_jsonl_answer` et al.) over the same
+    typed :class:`~repro.service.api.QueryRequest` /
+    :class:`~repro.service.api.QueryAnswer` the framed protocol speaks —
+    new clients should use :class:`~repro.service.client.ScoopClient`
+    against :class:`~repro.service.server.ScoopServer` instead.
+
     Ops: ``{"op": "query", "tenant": ..., "attr": 0, "lo": ..., "hi": ...}``
     (tenant defaults to ``tenant0``), ``{"op": "stats"}``,
     ``{"op": "ping"}``. Malformed requests get ``{"status": "error"}``
@@ -521,29 +595,40 @@ async def serve_gateway(
             if not line:
                 break
             try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-                op = request.get("op", "query")
+                op, request = decode_jsonl_request(line)
                 if op == "ping":
-                    response = {"status": "ok", "op": "ping", "tenants": gateway.tenants}
+                    payload = (
+                        json.dumps(
+                            {
+                                "status": "ok",
+                                "op": "ping",
+                                "tenants": gateway.tenants,
+                            }
+                        )
+                        + "\n"
+                    ).encode("utf-8")
                 elif op == "stats":
-                    response = {"status": "ok", "stats": gateway.stats()}
-                elif op == "query":
-                    ticket = await gateway.query(
-                        str(request.get("tenant", "tenant0")),
-                        int(request.get("attr", 0)),
-                        request.get("lo"),
-                        request.get("hi"),
-                    )
-                    response = ticket.to_dict()
+                    payload = (
+                        json.dumps({"status": "ok", "stats": gateway.stats()})
+                        + "\n"
+                    ).encode("utf-8")
                 else:
-                    raise ValueError(
-                        f"unknown op {op!r}; one of ping, query, stats"
+                    # The legacy protocol reports the tenant-scoped seq,
+                    # so answers go through the ticket, not answer().
+                    ticket = await gateway.query(
+                        request.tenant, request.attr, request.lo, request.hi
                     )
-            except (ValueError, TypeError, KeyError) as exc:
-                response = {"status": "error", "error": str(exc)}
-            writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                    payload = encode_jsonl_answer(
+                        QueryAnswer.from_ticket(ticket, shard="shard0")
+                    )
+            except (
+                MalformedRequestError,
+                ValueError,
+                TypeError,
+                KeyError,
+            ) as exc:
+                payload = encode_jsonl_error(str(exc))
+            writer.write(payload)
             await writer.drain()
         writer.close()
 

@@ -20,15 +20,30 @@ here touches wall clocks or the simulation's own RNG stream:
 
 The resulting scorecard lands on ``deployment.service_stats`` and is
 exported as ``TrialMetrics.service``.
+
+A second, wall-clock driver lives alongside: :func:`drive_socket_load`
+opens N *real* concurrent :class:`~repro.service.client.ScoopClient`
+connections against a running :class:`~repro.service.server.ScoopServer`
+and replays deterministic per-client programs
+(:func:`build_client_program`) — the load path the sharded serving
+stack is benchmarked and CI-gated on. Its per-tenant answer transcripts
+are deterministic for a fixed program (each tenant is driven by one
+sequential connection), which is what the ``--workers 1`` ≡
+``--workers 4`` identity gates compare.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
+import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentSpec
+from repro.service.api import aggregate_shard_stats
 
 #: Salt for the load-trace RNG stream — any spec-derived seed must not
 #: collide with the simulation seed itself.
@@ -137,4 +152,160 @@ def drive_load(deployment) -> Dict[str, float]:
     stats["qps_offered"] = service.offered / config.duration
     stats["qps_served"] = service.served / config.duration
     deployment.service_stats = stats
+    # The per-shard breakdown: in-process batch trials are the one-shard
+    # special case. worker_pid is pinned to 0 — a real pid would break
+    # the campaign pipeline's bit-identity checks.
+    deployment.service_shards = {
+        "shard0": aggregate_shard_stats({service.name: stats}, worker_pid=0)
+    }
     return stats
+
+
+# ----------------------------------------------------------------------
+# Real-socket concurrent-client driving (the sharded serving load path)
+# ----------------------------------------------------------------------
+
+#: Salt for per-client program RNG streams (distinct from the arrival
+#: trace salt: the two must never collide on a seed).
+_PROGRAM_SALT = 0xC11
+
+
+def build_client_program(
+    requests: int,
+    domain: Tuple[int, int],
+    seed: int,
+    attrs: Sequence[int] = (0,),
+) -> List[Tuple[int, int, int]]:
+    """One client's deterministic request program: ``requests`` tuples
+    of ``(attr, lo, hi)`` from a dedicated RNG, with the same hot-set /
+    cold-draw mix as :func:`build_arrivals` so the answer cache gets
+    realistic re-asks. A pure function of ``(requests, domain, seed)`` —
+    the fixed client program the shard-determinism gates replay at every
+    worker count."""
+    dlo, dhi = domain
+    rng = random.Random(seed * 1_000_003 + _PROGRAM_SALT)
+    width = max(1, int((dhi - dlo + 1) * rng.uniform(0.02, 0.10)))
+    hot = []
+    for _ in range(_HOT_RANGES):
+        lo = rng.randint(dlo, max(dlo, dhi - width))
+        hot.append((lo, min(dhi, lo + width)))
+    out: List[Tuple[int, int, int]] = []
+    for _ in range(requests):
+        attr = attrs[rng.randrange(len(attrs))] if len(attrs) > 1 else attrs[0]
+        if rng.random() < _HOT_PROB:
+            lo, hi = hot[rng.randrange(_HOT_RANGES)]
+        else:
+            a = rng.randint(dlo, dhi)
+            b = rng.randint(dlo, dhi)
+            lo, hi = (a, b) if a <= b else (b, a)
+        out.append((attr, lo, hi))
+    return out
+
+
+def answers_digest(answers: Dict[str, List[Dict[str, object]]]) -> str:
+    """Canonical digest of a per-tenant answer transcript — what the
+    worker-count identity gates compare. The JSON-lines dict form is
+    used deliberately: it excludes the ``shard`` field, which is the one
+    legitimately placement-dependent part of an answer."""
+    canonical = json.dumps(
+        {t: answers[t] for t in sorted(answers)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def drive_socket_load(
+    host: str,
+    port: int,
+    clients: int = 2,
+    requests: int = 40,
+    seed: int = 1,
+    domain: Optional[Tuple[int, int]] = None,
+    keep_answers: bool = True,
+) -> Dict[str, object]:
+    """Drive a running server from ``clients`` real concurrent TCP
+    connections (one thread + one :class:`ScoopClient` each).
+
+    Client ``i`` is pinned to tenant ``tenants[i % len(tenants)]`` and
+    replays :func:`build_client_program` sequentially (each request
+    awaits its answer), so with ``clients <= tenants`` every tenant sees
+    exactly one ordered request stream — the regime in which answers are
+    bit-identical across worker counts. Sheds and malformed rejections
+    are counted, never raised.
+
+    Returns a JSON-ready report: outcome counts, wall-clock throughput,
+    the per-tenant answer transcripts (``keep_answers``) and their
+    :func:`answers_digest`, and the server's end-of-run stats (per-shard
+    scorecards + protocol counters).
+    """
+    from repro.service.api import ServiceFault, ShedError
+    from repro.service.client import ScoopClient
+
+    if clients < 1:
+        raise ValueError(f"need at least one client, got {clients}")
+    with ScoopClient(host, port, name="loadtest-probe") as probe:
+        tenants = probe.tenants
+        workers = probe.workers
+        if domain is None:
+            # Probe the domain from one whole-domain query.
+            first = probe.query(tenant=tenants[0])
+            domain = (first.lo, first.hi)
+
+    answers: Dict[str, List[Dict[str, object]]] = {t: [] for t in tenants}
+    counts = {"ok": 0, "shed": 0, "malformed": 0, "failed": 0}
+    lock = threading.Lock()
+    errors: List[str] = []
+
+    def one_client(index: int) -> None:
+        tenant = tenants[index % len(tenants)]
+        program = build_client_program(requests, domain, seed=seed + index)
+        try:
+            with ScoopClient(host, port, name=f"loadtest-{index}") as client:
+                for attr, lo, hi in program:
+                    try:
+                        answer = client.query(
+                            tenant=tenant, attr=attr, lo=lo, hi=hi
+                        )
+                    except ShedError:
+                        with lock:
+                            counts["shed"] += 1
+                        continue
+                    with lock:
+                        counts["ok"] += 1
+                        answers[tenant].append(answer.to_jsonl_dict())
+        except ServiceFault as exc:
+            with lock:
+                counts["failed"] += 1
+                errors.append(f"client {index}: {exc.code}: {exc}")
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,), name=f"loadtest-{i}")
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    with ScoopClient(host, port, name="loadtest-stats") as reporter:
+        stats = reporter.stats()
+
+    report: Dict[str, object] = {
+        "clients": clients,
+        "requests_per_client": requests,
+        "tenants": tenants,
+        "workers": workers,
+        "seed": seed,
+        "counts": dict(counts),
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "qps": (counts["ok"] + counts["shed"]) / elapsed if elapsed > 0 else 0.0,
+        "answers_digest": answers_digest(answers),
+        "stats": stats.to_wire(),
+    }
+    if keep_answers:
+        report["answers"] = answers
+    return report

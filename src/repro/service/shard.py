@@ -1,0 +1,499 @@
+"""Sharded serving: tenants placed across a pool of worker processes.
+
+PR 7's gateway kept every tenant in one Python process; one busy tenant
+starved the rest of the interpreter. :class:`ShardedGateway` places
+tenants round-robin onto ``workers`` long-lived worker processes — the
+same deterministic-seed and spec-serialization machinery the campaign
+pool uses (specs cross the process boundary as
+:meth:`ExperimentSpec.to_dict` payloads, plug-in policies re-register in
+each worker) — so tenant deployments boot and serve concurrently.
+
+Each worker owns its tenants outright: their resident deployments and
+:class:`~repro.service.gateway.TenantService` state never leave the
+process, and a tenant's trajectory depends only on its own ordered
+request stream. That is the sharding invariant the determinism tests
+pin: for a fixed client program, per-tenant answers are identical at
+``--workers 1`` and ``--workers 4``.
+
+The parent ↔ worker protocol is deliberately lockstep (one command in
+flight per shard, over one :func:`multiprocessing.Pipe`): the parent
+pump task batches concurrently arriving requests per shard, ships one
+``batch`` command, and awaits the answers — so worker replies can never
+interleave and the pipe needs no framing of its own. Shards are
+independent; concurrency comes from running one pump per shard.
+
+Workers announce ``ready`` after their deployments finish boot +
+stabilization; :attr:`ShardedGateway.ready` gates the server's HELLO
+handshake so first queries can never race warmup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.api import (
+    MalformedRequestError,
+    QueryAnswer,
+    QueryRequest,
+    ServiceFault,
+    ServiceStats,
+    ServiceUnavailableError,
+    aggregate_shard_stats,
+    error_to_exception,
+    ServiceError,
+)
+
+#: Start method for shard workers. ``spawn`` everywhere: identical
+#: behavior across platforms and safe regardless of parent threads
+#: (the asyncio server runs executor threads; forking those is UB).
+_START_METHOD = "spawn"
+
+
+def shard_name(index: int) -> str:
+    return f"shard{index}"
+
+
+def plan_placement(
+    tenants: Sequence[str], workers: int
+) -> List[List[str]]:
+    """Round-robin tenant → shard placement (shard i hosts tenants
+    i, i+W, i+2W, ...). Deterministic in the tenant order alone, so a
+    fixed tenant list always yields the same placement."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    assignments: List[List[str]] = [[] for _ in range(min(workers, len(tenants)))]
+    for i, tenant in enumerate(tenants):
+        assignments[i % len(assignments)].append(tenant)
+    return assignments
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _shard_worker_main(
+    conn,
+    shard: str,
+    tenant_payloads: List[Tuple[str, Dict[str, object]]],
+    plugins: Dict[str, object],
+) -> None:
+    """One shard worker: boot the assigned tenants, announce readiness,
+    then serve lockstep commands until ``close``.
+
+    Commands (parent → worker):
+      ``("batch", [(req_id, tenant, attr, lo, hi), ...])`` →
+      ``("answers", [(req_id, kind, payload)], shard_stats)`` with
+      ``kind`` of ``ok``/``shed`` (payload = answer wire dict) or
+      ``error`` (payload = (code, message));
+      ``("stats",)`` → ``("stats", {tenant: scorecard}, shard_stats)``;
+      ``("close",)`` → worker exits.
+
+    Any exception outside per-request handling is reported as
+    ``("fatal", repr)`` before the worker dies — the parent converts
+    in-flight requests into :class:`ServiceUnavailableError`.
+    """
+    try:
+        from repro.experiments import registry
+        from repro.experiments.runner import ExperimentSpec
+        from repro.service.deployment import Deployment
+        from repro.service.gateway import TenantService
+
+        # Same plug-in re-registration as the campaign pool's workers:
+        # under spawn the child registry holds only the built-ins.
+        for name, factory in plugins.items():
+            if not registry.is_registered(name):
+                registry.register_policy(name, factory)
+
+        services: Dict[str, TenantService] = {}
+        for tenant, spec_dict in tenant_payloads:
+            spec = ExperimentSpec.from_dict(spec_dict)
+            deployment = Deployment.create(spec)
+            deployment.boot()
+            deployment.stabilize()
+            services[tenant] = TenantService(tenant, deployment)
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        try:
+            conn.send(("boot_error", shard, f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+
+    conn.send(("ready", shard, sorted(services), os.getpid()))
+
+    def snapshots() -> Dict[str, Dict[str, float]]:
+        return {name: svc.snapshot() for name, svc in services.items()}
+
+    def shard_stats() -> Dict[str, float]:
+        return aggregate_shard_stats(snapshots(), worker_pid=os.getpid())
+
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "close":
+                conn.send(("closed", shard))
+                return
+            if op == "stats":
+                conn.send(("stats", snapshots(), shard_stats()))
+                continue
+            if op != "batch":
+                conn.send(("fatal", f"unknown shard command {op!r}"))
+                return
+            requests = command[1]
+            tickets: List[Tuple[int, object]] = []  # (req_id, ticket|fault)
+            touched: Dict[str, TenantService] = {}
+            for req_id, tenant, attr, lo, hi in requests:
+                service = services.get(tenant)
+                if service is None:
+                    tickets.append(
+                        (req_id, ("malformed", f"unknown tenant {tenant!r}"))
+                    )
+                    continue
+                try:
+                    ticket = service.submit(attr, lo, hi)
+                except ValueError as exc:
+                    tickets.append((req_id, ("malformed", str(exc))))
+                    continue
+                tickets.append((req_id, ticket))
+                touched[tenant] = service
+            # Drain every touched tenant's backlog: batch capacity may
+            # need several windows for a burst.
+            for service in touched.values():
+                while service.backlog:
+                    service.process_batch()
+            answers = []
+            for req_id, outcome in tickets:
+                if isinstance(outcome, tuple):
+                    answers.append((req_id, "error", outcome))
+                else:
+                    answer = QueryAnswer.from_ticket(outcome, shard=shard)
+                    answers.append((req_id, answer.status, answer.to_wire()))
+            conn.send(("answers", answers, shard_stats()))
+    except (EOFError, KeyboardInterrupt):
+        return
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side gateway
+# ----------------------------------------------------------------------
+class _Shard:
+    """Parent-side handle of one worker: process, pipe, request queue."""
+
+    def __init__(self, name: str, process, conn, tenants: List[str]):
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.tenants = tenants
+        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.ready = asyncio.Event()
+        self.failed: Optional[str] = None
+        self.pump: Optional[asyncio.Task] = None
+        #: latest scorecards off the worker (refreshed by every reply).
+        self.stats: Dict[str, float] = {}
+        self.tenant_stats: Dict[str, Dict[str, float]] = {}
+        self.metrics_tick = 0
+
+
+class ShardedGateway:
+    """Tenants sharded across worker processes, one asyncio front.
+
+    The duck-type contract shared with the in-process
+    :class:`~repro.service.gateway.QueryGateway` (what
+    :class:`~repro.service.server.ScoopServer` serves):
+    ``tenants`` / ``workers``, ``ready`` (asyncio event),
+    ``await answer(request) -> QueryAnswer`` (raising
+    :class:`~repro.service.api.ServiceFault` subclasses),
+    ``await service_stats() -> ServiceStats``, ``metrics_snapshots()``,
+    ``await close()``.
+    """
+
+    def __init__(
+        self,
+        spec,
+        tenants: int = 1,
+        workers: int = 1,
+        base_seed: Optional[int] = None,
+        batch_delay: float = 0.0,
+    ):
+        if tenants < 1:
+            raise ValueError(f"need at least one tenant, got {tenants}")
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.spec = spec
+        self.batch_delay = batch_delay
+        seed0 = spec.seed if base_seed is None else base_seed
+        names = [f"tenant{i}" for i in range(tenants)]
+        #: tenant -> spec payload (the campaign pool's serialization).
+        self._payloads = {
+            name: dataclasses.replace(spec, seed=seed0 + i).to_dict()
+            for i, name in enumerate(names)
+        }
+        self._assignments = plan_placement(names, workers)
+        self._shards: Dict[str, _Shard] = {}
+        self._shard_of: Dict[str, str] = {}
+        self.ready = asyncio.Event()
+        self._closed = False
+        self._boot_error: Optional[str] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def tenants(self) -> List[str]:
+        return sorted(self._shard_of)
+
+    @property
+    def workers(self) -> int:
+        return len(self._assignments)
+
+    def shard_of(self, tenant: str) -> str:
+        return self._shard_of[tenant]
+
+    async def start(self) -> None:
+        """Spawn the worker pool and the per-shard pump tasks.
+
+        Returns immediately — workers boot their deployments in the
+        background and report ``ready`` over their pipes;
+        :meth:`wait_ready` (or the HELLO handshake) blocks on that.
+        """
+        from repro.experiments import registry
+
+        ctx = multiprocessing.get_context(_START_METHOD)
+        plugins = registry.plugin_policies()
+        for i, tenant_names in enumerate(self._assignments):
+            name = shard_name(i)
+            parent_conn, child_conn = ctx.Pipe()
+            payload = [(t, self._payloads[t]) for t in tenant_names]
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, name, payload, plugins),
+                name=f"scoop-{name}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            shard = _Shard(name, process, parent_conn, tenant_names)
+            self._shards[name] = shard
+            for tenant in tenant_names:
+                self._shard_of[tenant] = name
+        for shard in self._shards.values():
+            shard.pump = asyncio.create_task(
+                self._pump(shard), name=f"pump-{shard.name}"
+            )
+
+    async def wait_ready(self, timeout: Optional[float] = None) -> None:
+        """Block until every shard reports ready (or one fails to boot)."""
+        await asyncio.wait_for(self.ready.wait(), timeout)
+        if self._boot_error is not None:
+            raise ServiceUnavailableError(self._boot_error)
+
+    async def _recv(self, shard: _Shard):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, shard.conn.recv
+        )
+
+    async def _pump(self, shard: _Shard) -> None:
+        """One shard's lockstep driver: readiness first, then batches."""
+        try:
+            message = await self._recv(shard)
+        except (EOFError, OSError):
+            message = ("boot_error", shard.name, "worker pipe closed during boot")
+        if message[0] == "ready":
+            shard.ready.set()
+            if all(s.ready.is_set() for s in self._shards.values()):
+                self.ready.set()
+        else:
+            shard.failed = message[-1]
+            self._boot_error = f"{shard.name} failed to boot: {message[-1]}"
+            self.ready.set()  # wake waiters so they can see the failure
+            return
+        while not self._closed:
+            item = await shard.queue.get()
+            if item is None:
+                break
+            batch = [item]
+            if self.batch_delay > 0:
+                # Let concurrently arriving requests join this batch.
+                await asyncio.sleep(self.batch_delay)
+            while not shard.queue.empty():
+                extra = shard.queue.get_nowait()
+                if extra is None:
+                    self._closed = True
+                    break
+                batch.append(extra)
+            queries = [entry for entry in batch if entry[0] == "req"]
+            probes = [entry for entry in batch if entry[0] == "stats"]
+            try:
+                if queries:
+                    requests = [
+                        (i, r.tenant, r.attr, r.lo, r.hi)
+                        for i, (_kind, _future, r) in enumerate(queries)
+                    ]
+                    shard.conn.send(("batch", requests))
+                    reply = await self._recv(shard)
+                    self._settle_batch(shard, queries, reply)
+                    if shard.failed is not None:
+                        self._fail_probes(probes, shard.failed)
+                        return
+                if probes:
+                    shard.conn.send(("stats",))
+                    reply = await self._recv(shard)
+                    if reply[0] == "fatal":
+                        shard.failed = reply[1]
+                        self._fail_probes(probes, shard.failed)
+                        return
+                    _op, tenant_stats, shard_stats = reply
+                    shard.tenant_stats = tenant_stats
+                    shard.stats = shard_stats
+                    shard.metrics_tick += 1
+                    for _kind, future in probes:
+                        if not future.done():
+                            future.set_result((tenant_stats, shard_stats))
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                shard.failed = f"worker pipe failed: {exc}"
+                for entry in batch:
+                    future = entry[1]
+                    if not future.done():
+                        future.set_exception(
+                            ServiceUnavailableError(shard.failed)
+                        )
+                return
+
+    def _settle_batch(self, shard: _Shard, queries, reply) -> None:
+        """Resolve one lockstep batch's futures from the worker reply."""
+        if reply[0] == "fatal":
+            shard.failed = reply[1]
+            for _kind, future, _request in queries:
+                if not future.done():
+                    future.set_exception(ServiceUnavailableError(reply[1]))
+            return
+        _op, answers, shard_stats = reply
+        shard.stats = shard_stats
+        shard.metrics_tick += 1
+        by_id = {req_id: (kind, payload) for req_id, kind, payload in answers}
+        for i, (_kind, future, request) in enumerate(queries):
+            if future.done():
+                continue
+            kind, payload = by_id.get(
+                i, ("error", ("unavailable", "no answer from shard"))
+            )
+            if kind == "error":
+                code, message = payload
+                future.set_exception(
+                    error_to_exception(
+                        ServiceError(code=code, message=message, seq=request.seq)
+                    )
+                )
+            else:
+                future.set_result(QueryAnswer.from_wire(payload))
+
+    @staticmethod
+    def _fail_probes(probes, message: str) -> None:
+        for _kind, future in probes:
+            if not future.done():
+                future.set_exception(ServiceUnavailableError(message))
+
+    # -- serving -------------------------------------------------------
+    async def answer(self, request: QueryRequest) -> QueryAnswer:
+        """Route one request to its tenant's shard and await the answer.
+
+        Raises the typed faults: :class:`MalformedRequestError` for
+        unknown tenants / invalid ranges, :class:`ShedError` via the
+        shard's admission control, :class:`ServiceUnavailableError` when
+        the shard is gone. Called before the shard is ready, it waits —
+        the HELLO handshake normally makes that impossible.
+        """
+        if self._closed:
+            raise ServiceUnavailableError("gateway is closed", seq=request.seq)
+        shard_id = self._shard_of.get(request.tenant)
+        if shard_id is None:
+            raise MalformedRequestError(
+                f"unknown tenant {request.tenant!r}; one of {self.tenants}",
+                seq=request.seq,
+            )
+        shard = self._shards[shard_id]
+        await shard.ready.wait()
+        if shard.failed is not None:
+            raise ServiceUnavailableError(shard.failed, seq=request.seq)
+        future = asyncio.get_running_loop().create_future()
+        shard.queue.put_nowait(("req", future, request))
+        try:
+            answer = await future
+        except ServiceFault as fault:
+            if fault.seq == 0:
+                fault.seq = request.seq
+            raise
+        if answer.seq != request.seq:
+            answer = dataclasses.replace(answer, seq=request.seq)
+        return answer
+
+    # -- telemetry -----------------------------------------------------
+    async def service_stats(self) -> ServiceStats:
+        """Poll every live shard for fresh scorecards (rides the same
+        lockstep pump as queries, so it can never interleave a batch)."""
+        loop = asyncio.get_running_loop()
+        futures: Dict[str, "asyncio.Future"] = {}
+        for shard in self._shards.values():
+            if shard.failed is not None:
+                continue
+            await shard.ready.wait()
+            if shard.failed is not None:
+                continue
+            future = loop.create_future()
+            shard.queue.put_nowait(("stats", future))
+            futures[shard.name] = future
+        tenants: Dict[str, Dict[str, float]] = {}
+        shards: Dict[str, Dict[str, float]] = {}
+        for name, future in futures.items():
+            try:
+                tenant_stats, shard_stats = await future
+            except ServiceFault:
+                continue
+            tenants.update(tenant_stats)
+            shards[name] = dict(shard_stats)
+        return ServiceStats(tenants=tenants, shards=shards)
+
+    def metrics_snapshots(self) -> Dict[str, Dict[str, object]]:
+        """Latest per-shard scorecards (refreshed by every batch reply)."""
+        return {
+            name: {
+                "tick": shard.metrics_tick,
+                "stats": dict(shard.stats),
+                "tenants": {k: dict(v) for k, v in shard.tenant_stats.items()},
+            }
+            for name, shard in self._shards.items()
+        }
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards.values():
+            shard.queue.put_nowait(None)
+        for shard in self._shards.values():
+            if shard.pump is not None:
+                shard.pump.cancel()
+        await asyncio.gather(
+            *(s.pump for s in self._shards.values() if s.pump is not None),
+            return_exceptions=True,
+        )
+        loop = asyncio.get_running_loop()
+        for shard in self._shards.values():
+            try:
+                shard.conn.send(("close",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for shard in self._shards.values():
+            await loop.run_in_executor(None, shard.process.join, 5.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                await loop.run_in_executor(None, shard.process.join, 5.0)
+            shard.conn.close()

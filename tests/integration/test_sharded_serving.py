@@ -1,0 +1,254 @@
+"""End-to-end tests for the sharded serving stack over real sockets.
+
+The contract under test, from ISSUE 8:
+
+* the hello/WELCOME handshake doubles as the readiness barrier — a
+  client that connects while shards are still booting blocks, never
+  errors;
+* answers are a function of each tenant's ordered request stream, so a
+  fixed client program gets bit-identical transcripts from ``workers=1``
+  and ``workers=4``;
+* overload and misuse surface as typed faults over the wire (socket
+  credit shed → :class:`ShedError`, version skew →
+  :class:`ProtocolVersionError`, unknown tenant →
+  :class:`MalformedRequestError`);
+* metrics subscribers receive per-shard scorecard pushes.
+
+The protocol-behavior tests run against the in-process
+:class:`QueryGateway` (same server, same frames, no process spawn); the
+determinism test boots real :class:`ShardedGateway` worker processes.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import ScoopConfig, ValueDomain
+from repro.experiments.runner import ExperimentSpec
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    MalformedRequestError,
+    ProtocolVersionError,
+    ShedError,
+)
+from repro.service.client import AsyncScoopClient
+from repro.service.gateway import QueryGateway
+from repro.service.loadtest import drive_socket_load
+from repro.service.server import serve_framed
+from repro.service.shard import ShardedGateway
+
+
+def tiny_spec(seed: int = 3) -> ExperimentSpec:
+    """The smallest spec that still serves queries: 8 motes, short
+    warm-up, one attribute over [0, 100]. Worker boot stays well under a
+    second, which is what makes multi-process tests affordable."""
+    config = ScoopConfig(
+        domain=ValueDomain(0, 100),
+        n_nodes=8,
+        sample_interval=10.0,
+        summary_interval=60.0,
+        remap_interval=180.0,
+        query_interval=12.0,
+        query_reply_window=8.0,
+        duration=120.0,
+        stabilization=40.0,
+    )
+    return ExperimentSpec(
+        policy="scoop",
+        workload="gaussian",
+        scoop=config,
+        seed=seed,
+        topology_kind="grid",
+    )
+
+
+def in_process_gateway(tenants: int = 1) -> QueryGateway:
+    return QueryGateway.from_spec(tiny_spec(), tenants=tenants, batch_delay=0.0)
+
+
+class TestFramedServer:
+    """Protocol behavior over a real socket, in-process gateway."""
+
+    def test_query_stats_ping_round_trip(self):
+        async def program():
+            gateway = in_process_gateway()
+            await gateway.start()
+            server = await serve_framed(gateway)
+            try:
+                async with AsyncScoopClient(port=server.port) as client:
+                    assert client.tenants == ["tenant0"]
+                    assert client.workers == 1
+                    answer = await client.query(tenant="tenant0", lo=10, hi=60)
+                    assert answer.ok and answer.shard == "shard0"
+                    assert answer.seq == 1
+                    assert await client.ping() == ["tenant0"]
+                    stats = await client.stats()
+                    assert "tenant0" in stats.tenants
+                    assert "shard0" in stats.shards
+                    assert stats.protocol["requests"] >= 1
+            finally:
+                await server.close()
+                await gateway.close()
+
+        asyncio.run(program())
+
+    def test_socket_credit_shed(self):
+        """With a zero-credit window every request sheds at the socket:
+        the client sees ShedError, the server counts it, and the
+        connection stays usable for control frames."""
+
+        async def program():
+            gateway = in_process_gateway()
+            await gateway.start()
+            server = await serve_framed(gateway, credits=0)
+            try:
+                async with AsyncScoopClient(port=server.port) as client:
+                    assert client.credits == 0
+                    with pytest.raises(ShedError):
+                        await client.query(tenant="tenant0")
+                    assert server.counters["sheds_socket"] == 1
+                    # Sheds don't poison the stream — PING still works.
+                    assert await client.ping() == ["tenant0"]
+            finally:
+                await server.close()
+                await gateway.close()
+
+        asyncio.run(program())
+
+    def test_version_skew_is_typed_and_fatal(self):
+        async def program():
+            gateway = in_process_gateway()
+            await gateway.start()
+            server = await serve_framed(gateway)
+            try:
+                client = AsyncScoopClient(
+                    port=server.port, version=PROTOCOL_VERSION + 1
+                )
+                with pytest.raises(ProtocolVersionError):
+                    await client.connect()
+                await client.aclose()
+            finally:
+                await server.close()
+                await gateway.close()
+
+        asyncio.run(program())
+
+    def test_unknown_tenant_is_malformed(self):
+        async def program():
+            gateway = in_process_gateway()
+            await gateway.start()
+            server = await serve_framed(gateway)
+            try:
+                async with AsyncScoopClient(port=server.port) as client:
+                    with pytest.raises(MalformedRequestError, match="martian"):
+                        await client.query(tenant="martian")
+                    # The fault is per-request: the connection survives.
+                    answer = await client.query(tenant="tenant0")
+                    assert answer.ok
+            finally:
+                await server.close()
+                await gateway.close()
+
+        asyncio.run(program())
+
+    def test_metrics_subscription_pushes_shard_scorecards(self):
+        async def program():
+            gateway = in_process_gateway()
+            await gateway.start()
+            server = await serve_framed(gateway, metrics_interval=0.02)
+            try:
+                async with AsyncScoopClient(
+                    port=server.port, metrics=True
+                ) as client:
+                    await client.query(tenant="tenant0")
+                    deadline = asyncio.get_running_loop().time() + 5.0
+                    while not client.metrics:
+                        assert (
+                            asyncio.get_running_loop().time() < deadline
+                        ), "no METRICS frame within 5s"
+                        await asyncio.sleep(0.02)
+                    push = client.metrics[0]
+                    assert push["shard"] == "shard0"
+                    assert "tick" in push
+                    assert "requests_offered" in push["stats"]
+                assert server.counters["metrics_pushed"] >= 1
+            finally:
+                await server.close()
+                await gateway.close()
+
+        asyncio.run(program())
+
+
+class TestShardedGateway:
+    """Real worker processes behind the framed server."""
+
+    def test_readiness_gates_welcome(self):
+        """The server accepts connections the moment it binds — before
+        any shard has booted — and parks the WELCOME behind the
+        readiness barrier, so connect() blocking is the handshake."""
+
+        async def program():
+            gateway = ShardedGateway(tiny_spec(), tenants=2, workers=2)
+            await gateway.start()
+            server = await serve_framed(gateway)
+            try:
+                # Spawned workers take ≥100ms to even import; the bind
+                # happened synchronously above, so this races nothing.
+                assert not gateway.ready.is_set()
+                async with AsyncScoopClient(port=server.port) as client:
+                    assert gateway.ready.is_set()
+                    assert client.tenants == ["tenant0", "tenant1"]
+                    assert client.workers == 2
+                    answer = await client.query(tenant="tenant1", lo=0, hi=50)
+                    assert answer.ok and answer.shard == "shard1"
+            finally:
+                await server.close()
+                await gateway.close()
+
+        asyncio.run(program())
+
+    def test_workers_1_and_4_answer_identically(self):
+        """The shard-determinism gate: one sequential client per tenant
+        replaying a fixed program gets byte-identical per-tenant
+        transcripts whatever the worker count."""
+
+        async def serve_and_drive(workers: int):
+            gateway = ShardedGateway(tiny_spec(), tenants=4, workers=workers)
+            await gateway.start()
+            server = await serve_framed(gateway)
+            try:
+                await gateway.wait_ready()
+                report = await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    lambda: drive_socket_load(
+                        "127.0.0.1",
+                        server.port,
+                        clients=4,
+                        requests=6,
+                        seed=11,
+                    ),
+                )
+            finally:
+                await server.close()
+                await gateway.close()
+            return report
+
+        report1 = asyncio.run(serve_and_drive(1))
+        report4 = asyncio.run(serve_and_drive(4))
+
+        for report, workers in ((report1, 1), (report4, 4)):
+            assert report["workers"] == workers
+            assert report["counts"]["failed"] == 0, report["errors"]
+            assert report["counts"]["ok"] == 4 * 6
+            assert report["stats"]["protocol"]["protocol_errors"] == 0
+        # 1 worker hosts every tenant on shard0; 4 spread one per shard.
+        assert set(report1["stats"]["shards"]) == {"shard0"}
+        assert set(report4["stats"]["shards"]) == {
+            "shard0",
+            "shard1",
+            "shard2",
+            "shard3",
+        }
+        # The tentpole invariant: identical transcripts, hence digests.
+        assert report1["answers"] == report4["answers"]
+        assert report1["answers_digest"] == report4["answers_digest"]
