@@ -1,0 +1,58 @@
+"""Finding baselines: adopt the checker on a dirty tree without a flag day.
+
+A baseline file records currently-accepted findings; ``--baseline FILE``
+filters them out of the report so only *new* violations fail CI.
+Baselines match on ``(rule, path, message)`` — line numbers drift with
+every unrelated edit and would make baselines churn constantly.
+
+The repo's own tree is kept clean (the CI gate runs baseline-less), so
+baselines exist for downstream forks and for staging genuinely hard
+migrations, not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Path) -> List[Finding]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a v{BASELINE_VERSION} analysis baseline"
+        )
+    out: List[Finding] = []
+    for entry in data.get("findings", []):
+        out.append(
+            Finding(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                line=int(entry.get("line", 0)),
+                message=str(entry["message"]),
+            )
+        )
+    return out
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> List[Finding]:
+    """Findings not covered by the baseline (new violations)."""
+    known: Set[Tuple[str, str, str]] = {f.key() for f in baseline}
+    return [f for f in findings if f.key() not in known]

@@ -1,0 +1,180 @@
+"""Determinism rules: seeded RNG streams only, no wall clock, no set-order
+dependence in simulated paths.
+
+Every campaign guarantee the repo ships — byte-identical replays,
+``--jobs 1`` ≡ ``--jobs 4``, the persistent result cache — rests on
+trials being pure functions of their spec. These rules fail CI on the
+three ways that purity historically almost broke: the process-global
+RNG, wall-clock reads inside simulated time, and iteration order of set
+displays.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule, dotted_name, import_aliases
+
+#: Directories whose code runs inside a simulated trial and must be a
+#: pure function of the spec'd seed.
+DETERMINISTIC_SCOPE: Tuple[str, ...] = (
+    "src/repro/sim",
+    "src/repro/core",
+    "src/repro/baselines",
+    "src/repro/workloads",
+)
+
+#: Wall-clock scope: the deterministic scope minus workloads (which never
+#: read clocks) plus the serving layer's in-simulator halves and the trial
+#: runner (whose wall-clock *capture* is the canonical pragma'd case).
+WALL_CLOCK_SCOPE: Tuple[str, ...] = (
+    "src/repro/sim",
+    "src/repro/core",
+    "src/repro/baselines",
+    "src/repro/service/gateway.py",
+    "src/repro/service/shard.py",
+    "src/repro/experiments/runner.py",
+)
+
+#: Dotted names that read the host clock. Simulated code asks the kernel
+#: (``sim.now``) for time; these leak real time into trial trajectories.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class GlobalRandomRule(Rule):
+    """DET01 — the process-global RNG (and unseeded ``random.Random()``)
+    never appears in deterministic code.
+
+    ``random.random()``, ``random.shuffle()`` etc. share one process-wide
+    stream: any other consumer (a library, a second trial in the same
+    worker) perturbs the sequence and the trial stops being a function of
+    its seed. ``random.Random()`` without a seed argument draws entropy
+    from the OS. Deterministic code takes an injected ``random.Random``
+    or a :mod:`repro.sim.rngstream` stream instead.
+    """
+
+    rule_id = "DET01"
+    description = (
+        "no process-global random.* calls or unseeded random.Random() in "
+        "deterministic code"
+    )
+    scope = DETERMINISTIC_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in ("random.Random", "random.SystemRandom"):
+                if dotted == "random.SystemRandom" or self._unseeded(node):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node.lineno,
+                        f"{dotted}() without an explicit seed draws OS "
+                        "entropy; pass a seed derived from the spec",
+                    )
+            elif dotted.startswith("random.") and dotted.count(".") == 1:
+                yield ctx.finding(
+                    self.rule_id,
+                    node.lineno,
+                    f"{dotted}() uses the process-global RNG; inject a "
+                    "seeded random.Random or an rngstream stream",
+                )
+
+    @staticmethod
+    def _unseeded(call: ast.Call) -> bool:
+        if call.args:
+            return False
+        return not any(kw.arg in (None, "x", "seed") for kw in call.keywords)
+
+
+class WallClockRule(Rule):
+    """DET02 — no wall-clock reads where time is simulated.
+
+    Inside a trial, "now" is :attr:`Simulator.now`; a host-clock read
+    either corrupts the trajectory (if used) or invites it (if kept
+    around). The one legitimate use — the runner metering how long a
+    trial took to *execute* — carries an explicit allow pragma.
+    """
+
+    rule_id = "DET02"
+    description = "no wall-clock reads (time.*, datetime.now) in simulated paths"
+    scope = WALL_CLOCK_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func, aliases)
+            if dotted in WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self.rule_id,
+                    node.lineno,
+                    f"{dotted}() reads the host clock inside a simulated "
+                    "path; use sim.now (or pragma a deliberate wall-clock "
+                    "capture)",
+                )
+
+
+class SetIterationRule(Rule):
+    """DET03 — no direct iteration over set displays in simulated paths.
+
+    Set iteration order is salted per process on str/bytes members and
+    insertion-history-dependent for ints; a ``for`` loop (or
+    comprehension) over a set literal, set comprehension or ``set()``
+    call can reorder events between runs. Sort it, or use a tuple.
+    """
+
+    rule_id = "DET03"
+    description = "no iteration over set literals/comprehensions/set() calls"
+    scope = DETERMINISTIC_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: Iterable[ast.expr]
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = (node.iter,)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters = (gen.iter for gen in node.generators)
+            else:
+                continue
+            for it in iters:
+                if self._is_set_display(it):
+                    yield ctx.finding(
+                        self.rule_id,
+                        it.lineno,
+                        "iteration over a set display has no deterministic "
+                        "order; iterate a sorted() view or a tuple instead",
+                    )
+
+    @staticmethod
+    def _is_set_display(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )

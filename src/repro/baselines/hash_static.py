@@ -20,6 +20,7 @@ overhead — is checkable both ways.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Set
 
@@ -134,8 +135,6 @@ class AnalyticalHashModel:
         seed: int = 0,
     ) -> HashCostEstimate:
         """Replay the experiment's data and query streams analytically."""
-        import random
-
         config = self.config
         base = config.basestation_id
         data_cost = 0.0

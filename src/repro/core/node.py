@@ -78,6 +78,29 @@ class _AttrBatch:
 class ScoopNode(Mote):
     """One Scoop sensor node."""
 
+    # Scoop's per-sample/per-frame state lives in slots (Mote already
+    # grants subclasses a __dict__, so policy subclasses stay free to add
+    # attributes; these descriptors just keep the hot reads off it).
+    __slots__ = (
+        "config",
+        "data_source",
+        "multi_source",
+        "tracker",
+        "flash",
+        "_recent_by_attr",
+        "recent",
+        "_indexes",
+        "disseminator",
+        "_sample_timer",
+        "_summary_timer",
+        "sampling",
+        "_was_sampling",
+        "readings_since_summary",
+        "_batches",
+        "_queries_heard",
+        "_query_gossip",
+    )
+
     def __init__(
         self,
         node_id: int,

@@ -416,6 +416,9 @@ def run_experiment(
     """
     from repro.service.deployment import Deployment
 
+    # Wall-clock capture of trial *execution* time — reported via
+    # TrialMetrics.timing, never fed back into the simulation.
+    # repro: allow[DET02] deliberate wall-clock capture of trial runtime
     started = time.perf_counter()
     config = spec.scoop
     deployment = Deployment.create(spec, topology=topology)
@@ -438,6 +441,7 @@ def run_experiment(
     # Phase 3: drain — flush batches, let in-flight frames land.
     deployment.drain()
 
+    # repro: allow[DET02] end of the same wall-clock capture; purely telemetry
     return deployment.collect(wall_clock_s=time.perf_counter() - started)
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
 
 #: Version of the service API and wire protocol. Clients send it in
 #: their hello; servers refuse (with :class:`ProtocolVersionError`) any
@@ -56,7 +56,7 @@ class ServiceFault(Exception):
 
     code = "error"
 
-    def __init__(self, message: str, seq: int = 0):
+    def __init__(self, message: str, seq: int = 0) -> None:
         super().__init__(message)
         self.seq = seq
 
@@ -98,7 +98,7 @@ class ServiceUnavailableError(ServiceFault):
 
 
 #: Wire code -> exception class (the inverse of each class's ``code``).
-_FAULTS = {
+_FAULTS: Dict[str, Type[ServiceFault]] = {
     exc.code: exc
     for exc in (
         ShedError,
@@ -138,7 +138,7 @@ class QueryRequest:
         }
 
     @classmethod
-    def from_wire(cls, data: Mapping[str, object]) -> "QueryRequest":
+    def from_wire(cls, data: Mapping[str, Any]) -> "QueryRequest":
         try:
             return cls(
                 tenant=str(data.get("tenant", "tenant0")),
@@ -183,7 +183,7 @@ class QueryAnswer:
         return self.status == "ok"
 
     @classmethod
-    def from_ticket(cls, ticket, shard: str = "") -> "QueryAnswer":
+    def from_ticket(cls, ticket: Any, shard: str = "") -> "QueryAnswer":
         """Fold one service-internal ticket into its public form."""
         return cls(
             tenant=ticket.tenant,
@@ -227,7 +227,7 @@ class QueryAnswer:
         }
 
     @classmethod
-    def from_wire(cls, data: Mapping[str, object]) -> "QueryAnswer":
+    def from_wire(cls, data: Mapping[str, Any]) -> "QueryAnswer":
         try:
             return cls(
                 tenant=str(data["tenant"]),
@@ -262,7 +262,7 @@ class ServiceError:
         return {"code": self.code, "message": self.message, "seq": self.seq}
 
     @classmethod
-    def from_wire(cls, data: Mapping[str, object]) -> "ServiceError":
+    def from_wire(cls, data: Mapping[str, Any]) -> "ServiceError":
         try:
             return cls(
                 code=str(data["code"]),
@@ -308,7 +308,7 @@ class ServiceStats:
         }
 
     @classmethod
-    def from_wire(cls, data: Mapping[str, object]) -> "ServiceStats":
+    def from_wire(cls, data: Mapping[str, Any]) -> "ServiceStats":
         try:
             return cls(
                 tenants={k: dict(v) for k, v in data.get("tenants", {}).items()},

@@ -41,9 +41,16 @@ import enum
 import json
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.service.api import PROTOCOL_VERSION, ProtocolError
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    QueryAnswer,
+    QueryRequest,
+    ServiceError,
+    ServiceStats,
+)
 
 #: struct layout of the fixed header after the length prefix.
 _HEADER = struct.Struct(">BBI")
@@ -86,7 +93,7 @@ class Frame:
     payload: Dict[str, object] = None  # type: ignore[assignment]
     version: int = PROTOCOL_VERSION
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.payload is None:
             object.__setattr__(self, "payload", {})
 
@@ -242,17 +249,17 @@ def welcome_frame(
     )
 
 
-def request_frame(request) -> bytes:
+def request_frame(request: QueryRequest) -> bytes:
     """One :class:`~repro.service.api.QueryRequest` (seq rides in the
     header and the payload; the header copy is authoritative)."""
     return encode_frame(FrameType.REQUEST, request.to_wire(), seq=request.seq)
 
 
-def response_frame(answer) -> bytes:
+def response_frame(answer: QueryAnswer) -> bytes:
     return encode_frame(FrameType.RESPONSE, answer.to_wire(), seq=answer.seq)
 
 
-def error_frame(error) -> bytes:
+def error_frame(error: ServiceError) -> bytes:
     return encode_frame(FrameType.ERROR, error.to_wire(), seq=error.seq)
 
 
@@ -260,7 +267,7 @@ def stats_request_frame(seq: int) -> bytes:
     return encode_frame(FrameType.STATS, {}, seq=seq)
 
 
-def stats_frame(stats, seq: int) -> bytes:
+def stats_frame(stats: ServiceStats, seq: int) -> bytes:
     return encode_frame(FrameType.STATS, stats.to_wire(), seq=seq)
 
 
@@ -300,7 +307,7 @@ def pong_frame(seq: int = 0, tenants: Optional[List[str]] = None) -> bytes:
     )
 
 
-def negotiate_hello(payload: Dict[str, object]) -> Tuple[int, bool]:
+def negotiate_hello(payload: Dict[str, Any]) -> Tuple[int, bool]:
     """Validate a HELLO payload; return ``(version, wants_metrics)``.
 
     Raises :class:`~repro.service.api.ProtocolVersionError` when the

@@ -70,7 +70,7 @@ class RadioListener(Protocol):
         """Overheard a frame addressed to someone else."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RadioConfig:
     """Physical/MAC layer parameters (defaults approximate a Mica2)."""
 
@@ -93,7 +93,7 @@ class RadioConfig:
     ack_turnaround: float = 0.0005
 
 
-@dataclass
+@dataclass(slots=True)
 class RadioStats:
     """Aggregate channel diagnostics (not part of the paper's cost metric)."""
 
@@ -553,7 +553,7 @@ class Radio:
         self._pump(sender)
 
 
-@dataclass
+@dataclass(slots=True)
 class _AckPayload:
     acked_frame_id: int
 

@@ -29,7 +29,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.linkest import LinkEstimator
 
 
-@dataclass
+@dataclass(slots=True)
 class BeaconPayload:
     """Routing beacon: the sender's advertised path cost and parent."""
 

@@ -143,7 +143,7 @@ class Chunk(Protocol):
 C = TypeVar("C", bound=Chunk)
 
 
-@dataclass
+@dataclass(slots=True)
 class Advertisement:
     """Trickle metadata broadcast: which version and chunks a node holds."""
 

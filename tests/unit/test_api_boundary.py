@@ -1,161 +1,98 @@
-"""Enforce the serving API boundary mechanically.
+"""Enforce the serving API boundary mechanically — via the BND01 rule.
 
-``repro.service`` exposes exactly one request/response vocabulary —
-the frozen dataclasses and typed exceptions of ``repro.service.api``
-plus the supported entry points (clients, servers, gateways, load
-drivers, Deployment). Internal plumbing — ``ServiceTicket``,
-``TenantService``, ``AnswerCache``, the frame structs — must never be
-imported from outside the package. This test walks every Python file
-outside ``src/repro/service`` (library, examples, benchmarks, CI
-scripts) with ``ast`` and fails on any import that crosses the line,
-so a convenience leak shows up in review as a red test, not a code
-smell.
+The boundary spec (public names, public submodules, forbidden internal
+types) lives in exactly one place now:
+:data:`repro.analysis.boundary.SERVICE_BOUNDARY`, enforced by
+:class:`~repro.analysis.boundary.ImportBoundaryRule` both here and in
+the CI ``analysis`` job. This test asserts the rule reports zero
+findings on the tree, proves a synthetic violation *is* caught (so the
+delegation can never rot into a vacuous pass), and guards that the scan
+actually covers the known importers.
 """
 
-import ast
+import textwrap
 from pathlib import Path
+
+from repro.analysis import (
+    SERVICE_BOUNDARY,
+    ImportBoundaryRule,
+    iter_python_files,
+    run_analysis,
+)
 
 REPO = Path(__file__).resolve().parents[2]
 
 #: Directories scanned for boundary violations (tests are exempt: they
-#: white-box the internals on purpose).
+#: white-box the internals on purpose). Mirrors the CLI's default scan.
 SCAN_ROOTS = ("src/repro", "examples", "benchmarks", ".github/scripts")
 
-#: The public surface: the only names importable from ``repro.service``
-#: (or its submodules) by outside code.
-PUBLIC_NAMES = {
-    # typed API (repro.service.api)
-    "PROTOCOL_VERSION",
-    "QueryRequest",
-    "QueryAnswer",
-    "ServiceError",
-    "ServiceStats",
-    "ServiceFault",
-    "ShedError",
-    "MalformedRequestError",
-    "ProtocolVersionError",
-    "ProtocolError",
-    "ServiceUnavailableError",
-    "aggregate_shard_stats",
-    # entry points
-    "ScoopClient",
-    "AsyncScoopClient",
-    "ScoopServer",
-    "serve_framed",
-    "QueryGateway",
-    "ShardedGateway",
-    "serve_gateway",
-    "ServiceLimits",
-    "Deployment",
-    # load drivers
-    "build_arrivals",
-    "drive_load",
-    "drive_socket_load",
-    "build_client_program",
-    "answers_digest",
-}
 
-#: Submodules outside code may import *from* (beyond the package root).
-#: protocol/gateway/shard internals stay inside the package.
-PUBLIC_SUBMODULES = {
-    "repro.service",
-    "repro.service.api",
-    "repro.service.client",
-    "repro.service.deployment",
-    "repro.service.loadtest",
-    "repro.service.server",
-    "repro.service.shard",
-}
+def scan_paths():
+    return [REPO / root for root in SCAN_ROOTS if (REPO / root).exists()]
 
 
-def outside_files():
-    service_dir = REPO / "src" / "repro" / "service"
-    for root in SCAN_ROOTS:
-        base = REPO / root
-        if not base.exists():
-            continue
-        for path in sorted(base.rglob("*.py")):
-            if service_dir in path.parents:
-                continue
-            if "__pycache__" in path.parts:
-                continue
-            yield path
-
-
-def service_imports(tree):
-    """Yield ``(module, name, lineno)`` for every import touching
-    repro.service. ``name`` is ``*`` for whole-module imports."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.startswith("repro.service"):
-                    yield alias.name, "*", node.lineno
-        elif isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            if module.startswith("repro.service"):
-                for alias in node.names:
-                    yield module, alias.name, node.lineno
-
-
-def test_only_public_names_cross_the_service_boundary():
-    violations = []
-    for path in outside_files():
-        tree = ast.parse(path.read_text(encoding="utf-8"))
-        for module, name, lineno in service_imports(tree):
-            where = f"{path.relative_to(REPO)}:{lineno}"
-            if module not in PUBLIC_SUBMODULES:
-                violations.append(
-                    f"{where}: import from internal module {module!r}"
-                )
-            elif name == "*":
-                # `import repro.service.x` / star imports: attribute access
-                # is unchecked, so refuse the pattern outright.
-                violations.append(
-                    f"{where}: whole-module import of {module!r}; "
-                    f"import the public names instead"
-                )
-            elif name not in PUBLIC_NAMES:
-                violations.append(
-                    f"{where}: {name!r} is not part of the public "
-                    f"service API"
-                )
-    assert not violations, (
+def test_service_boundary_clean_on_head():
+    findings = run_analysis(
+        scan_paths(), rules=[ImportBoundaryRule(SERVICE_BOUNDARY)], root=REPO
+    )
+    assert not findings, (
         "internal service types leaked across the API boundary:\n  "
-        + "\n  ".join(violations)
+        + "\n  ".join(f"{f.location}: {f.message}" for f in findings)
     )
 
 
-def test_internal_types_never_named_outside_the_package():
-    """Belt and braces for the import scan: the internal type names must
-    not appear at all in outside library/example/benchmark/CI code —
-    not even via attribute access (``gateway.ServiceTicket``)."""
-    forbidden = ("ServiceTicket", "TenantService", "AnswerCache")
-    violations = []
-    for path in outside_files():
-        tree = ast.parse(path.read_text(encoding="utf-8"))
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Name) and node.id in forbidden:
-                violations.append(
-                    f"{path.relative_to(REPO)}:{node.lineno}: {node.id}"
-                )
-            elif isinstance(node, ast.Attribute) and node.attr in forbidden:
-                violations.append(
-                    f"{path.relative_to(REPO)}:{node.lineno}: .{node.attr}"
-                )
-    assert not violations, (
-        "internal service types referenced outside repro.service:\n  "
-        + "\n  ".join(violations)
+def test_synthetic_violations_are_caught(tmp_path):
+    """Negative case: every class of violation the old ad-hoc walk caught
+    must still be caught by the rule it delegated to."""
+    offender = tmp_path / "offender.py"
+    offender.write_text(
+        textwrap.dedent(
+            """
+            import repro.service.gateway
+            from repro.service.gateway import TenantService
+            from repro.service import ScoopClient, AnswerCache
+            from repro.service.api import *
+
+            def peek(gw):
+                return gw.ServiceTicket
+            """
+        )
     )
+    findings = run_analysis(
+        [tmp_path], rules=[ImportBoundaryRule(SERVICE_BOUNDARY)], root=tmp_path
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert all(f.rule == "BND01" for f in findings)
+    assert "whole-module import" in messages
+    assert "internal module" in messages
+    assert "'AnswerCache' is not part of the public" in messages
+    assert "star import" in messages
+    assert "'ServiceTicket' reached via attribute access" in messages
+    # line-accurate: the ticket peek is attributed to its own line.
+    assert any(f.line == 8 for f in findings if "ServiceTicket" in f.message)
+
+
+def test_rule_exempts_the_package_itself():
+    rule = ImportBoundaryRule(SERVICE_BOUNDARY)
+    assert not rule.applies_to("src/repro/service/gateway.py")
+    assert not rule.applies_to("src/repro/service")
+    assert rule.applies_to("src/repro/experiments/runner.py")
+    assert rule.applies_to("benchmarks/bench_query_service.py")
 
 
 def test_scan_actually_covers_the_tree():
     """Guard the guard: the scan must see the known importers — if the
     directory layout changes and the walk silently misses them, this
-    fails before the boundary tests rot into vacuous passes."""
-    files = {str(p.relative_to(REPO)) for p in outside_files()}
-    assert "src/repro/experiments/runner.py" in files
-    assert "src/repro/experiments/__main__.py" in files
-    assert any(f.startswith("examples/") for f in files)
-    assert any(f.startswith("benchmarks/") for f in files)
-    assert any(f.startswith(".github/scripts/") for f in files)
-    assert not any(f.startswith("src/repro/service/") for f in files)
+    fails before the boundary test rots into a vacuous pass."""
+    rule = ImportBoundaryRule(SERVICE_BOUNDARY)
+    files = {
+        p.resolve().relative_to(REPO).as_posix()
+        for p in iter_python_files(scan_paths())
+    }
+    covered = {f for f in files if rule.applies_to(f)}
+    assert "src/repro/experiments/runner.py" in covered
+    assert "src/repro/experiments/__main__.py" in covered
+    assert any(f.startswith("examples/") for f in covered)
+    assert any(f.startswith("benchmarks/") for f in covered)
+    assert any(f.startswith(".github/scripts/") for f in covered)
+    assert not any(f.startswith("src/repro/service/") for f in covered)
