@@ -14,6 +14,13 @@ Two modes:
   reports (e.g. ``--workers 1`` and ``--workers 2`` runs), their
   ``answers_digest`` values must be identical — the shard-determinism
   invariant over real sockets.
+* ``--chaos REPORT [REPORT ...]`` (combinable with ``--serve``) — gate
+  chaos runs (``--chaos-kill-worker``): the fault must actually have
+  fired (a worker killed mid-load, ≥1 restart recorded in the shard
+  scorecards) and the service must still have completed every offered
+  request — zero failed clients, zero lost answers. Chaos reports are
+  *excluded* from the ``--serve`` digest-identity set: a mid-run kill
+  legitimately perturbs shed timing.
 
 Default-mode detail — the campaign export checks the serving story's
 qualitative shape, per policy across the offered-load sweep:
@@ -88,13 +95,56 @@ def check_serve_report(path: str) -> dict:
     return report
 
 
-def main_serve(paths) -> int:
+def check_chaos_report(path: str) -> dict:
+    """Gate one chaos-loadtest report: the kill fired, the supervisor
+    recovered, and no answer was lost."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    label = report.get("label", path)
+    counts = report["counts"]
+    chaos = report.get("chaos", {})
+
+    assert chaos.get("fired"), (label, chaos)
+    assert chaos.get("killed"), (label, chaos)
+
+    # Zero lost answers: every offered request was answered or shed;
+    # no client gave up (the retry policy must have absorbed the kill).
+    offered = report["clients"] * report["requests_per_client"]
+    assert counts["failed"] == 0, (label, report["errors"])
+    assert counts["malformed"] == 0, (label, counts)
+    assert counts["ok"] + counts["shed"] == offered, (label, counts)
+
+    # The supervisor recorded the recovery.
+    shards = report["stats"]["shards"]
+    restarts = sum(s.get("restarts", 0) for s in shards.values())
+    replacements = sum(s.get("replacements", 0) for s in shards.values())
+    assert restarts >= 1 or replacements >= 1, (label, shards)
+    killed = shards.get(chaos["killed"], {})
+    assert killed.get("last_exit", 0) != 0, (label, chaos["killed"], killed)
+
+    print(
+        f"{label} (chaos): killed={chaos['killed']} "
+        f"ok={counts['ok']} shed={counts['shed']} "
+        f"retried={counts.get('retried', 0)} restarts={restarts:.0f}"
+    )
+    return report
+
+
+def main_serve(paths, chaos_paths=()) -> int:
     reports = [check_serve_report(path) for path in paths]
-    digests = {r["answers_digest"] for r in reports}
-    assert len(digests) == 1, {
-        r.get("label", i): r["answers_digest"] for i, r in enumerate(reports)
-    }
-    print(f"serve reports OK ({len(reports)} report(s), digests identical)")
+    if reports:
+        digests = {r["answers_digest"] for r in reports}
+        assert len(digests) == 1, {
+            r.get("label", i): r["answers_digest"]
+            for i, r in enumerate(reports)
+        }
+        print(
+            f"serve reports OK ({len(reports)} report(s), digests identical)"
+        )
+    for path in chaos_paths:
+        check_chaos_report(path)
+    if chaos_paths:
+        print(f"chaos reports OK ({len(chaos_paths)} report(s))")
     return 0
 
 
@@ -157,5 +207,15 @@ if __name__ == "__main__":
         help="gate socket-loadtest JSON report(s) instead of the "
         "campaign export; several reports must agree on answers_digest",
     )
+    parser.add_argument(
+        "--chaos",
+        nargs="+",
+        metavar="REPORT",
+        help="gate chaos-loadtest report(s) (--chaos-kill-worker runs): "
+        "kill fired, >=1 restart recorded, zero lost answers; excluded "
+        "from the --serve digest-identity comparison",
+    )
     cli_args = parser.parse_args()
-    sys.exit(main_serve(cli_args.serve) if cli_args.serve else main())
+    if cli_args.serve or cli_args.chaos:
+        sys.exit(main_serve(cli_args.serve or (), cli_args.chaos or ()))
+    sys.exit(main())

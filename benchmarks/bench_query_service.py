@@ -163,7 +163,7 @@ def _socket_spec() -> ExperimentSpec:
     )
 
 
-async def _serve_and_drive(workers: int) -> dict:
+async def _serve_and_drive(workers: int, chaos_kill: bool = False) -> dict:
     gateway = ShardedGateway(
         _socket_spec(), tenants=SOCKET_TENANTS, workers=workers
     )
@@ -171,6 +171,8 @@ async def _serve_and_drive(workers: int) -> dict:
     server = await serve_framed(gateway)
     try:
         await gateway.wait_ready()
+        chaos = gateway.chaos_kill_worker if chaos_kill else None
+        retries = 30 if chaos_kill else None
         report = await asyncio.get_running_loop().run_in_executor(
             None,
             lambda: drive_socket_load(
@@ -180,6 +182,8 @@ async def _serve_and_drive(workers: int) -> dict:
                 requests=SOCKET_REQUESTS,
                 seed=SOCKET_SEED,
                 keep_answers=False,
+                retries=retries,
+                chaos=chaos,
             ),
         )
     finally:
@@ -240,3 +244,45 @@ def test_sharded_socket_serving(benchmark):
         assert speedup >= MIN_SPEEDUP, {
             w: round(reports[w]["qps"], 1) for w in SOCKET_WORKERS
         }
+
+
+def test_sharded_chaos_recovery(benchmark):
+    """Chaos leg: SIGKILL one worker mid-load; the supervisor must
+    respawn it and the clients' retry policy must deliver every offered
+    request anyway — zero lost answers is the availability gate the
+    re-placement story is built on."""
+
+    def run():
+        return asyncio.run(_serve_and_drive(2, chaos_kill=True))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = report["counts"]
+    shards = report["stats"]["shards"]
+    restarts = sum(s.get("restarts", 0) for s in shards.values())
+
+    emit(
+        "query_service_chaos",
+        format_table(
+            ["killed", "ok", "shed", "retried", "restarts"],
+            [
+                [
+                    str(report["chaos"]["killed"]),
+                    str(counts["ok"]),
+                    str(counts["shed"]),
+                    str(counts["retried"]),
+                    f"{restarts:.0f}",
+                ]
+            ],
+            "E16: chaos recovery — worker killed mid-load "
+            f"({SOCKET_CLIENTS} clients x {SOCKET_REQUESTS} requests)",
+        ),
+    )
+
+    expected = SOCKET_CLIENTS * SOCKET_REQUESTS
+    assert report["chaos"]["fired"], report["chaos"]
+    assert report["chaos"]["killed"] is not None, report["chaos"]
+    assert counts["failed"] == 0, report["errors"]
+    assert counts["ok"] + counts["shed"] == expected, counts
+    assert restarts >= 1, shards
+    killed = shards[report["chaos"]["killed"]]
+    assert killed["last_exit"] != 0, killed

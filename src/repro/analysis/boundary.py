@@ -60,6 +60,7 @@ SERVICE_BOUNDARY = BoundaryConfig(
             "ProtocolVersionError",
             "ProtocolError",
             "ServiceUnavailableError",
+            "ShardRestartingError",
             "aggregate_shard_stats",
             # entry points
             "ScoopClient",
@@ -68,6 +69,7 @@ SERVICE_BOUNDARY = BoundaryConfig(
             "serve_framed",
             "QueryGateway",
             "ShardedGateway",
+            "BackoffPolicy",
             "serve_gateway",
             "ServiceLimits",
             "Deployment",

@@ -203,6 +203,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=40,
         help="requests per loadtest client (with --loadtest)",
     )
+    serve.add_argument(
+        "--chaos-kill-worker",
+        action="store_true",
+        help="fault injection (with --loadtest): SIGKILL one shard worker "
+        "after ~1/3 of the load has settled; the supervisor respawns it "
+        "and clients retry the 'retry'-coded failures, so the run must "
+        "still complete with zero lost answers",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=7016, help="TCP port (0 = ephemeral)"
@@ -452,6 +460,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.chaos_kill_worker and (args.loadtest is None or args.jsonl):
+        print(
+            "error: --chaos-kill-worker needs the sharded framed server "
+            "under --loadtest (no --jsonl)",
+            file=sys.stderr,
+        )
+        return 2
     with _scale_override(args.scale):
         trials = scenario_trials(name, seed=args.base_seed)
     label, spec = next(
@@ -513,6 +528,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
                 dial = "127.0.0.1" if args.host == "0.0.0.0" else args.host
                 port = server.port
+                chaos = None
+                retries = None
+                if args.chaos_kill_worker:
+                    def chaos() -> object:
+                        killed = gateway.chaos_kill_worker()
+                        print(f"chaos: killed worker of {killed}")
+                        return killed
+
+                    # Enough retry budget to ride out a full worker
+                    # reboot (deployment boot + stabilization).
+                    retries = 30
                 report = await asyncio.get_running_loop().run_in_executor(
                     None,
                     lambda: drive_socket_load(
@@ -521,6 +547,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         clients=args.clients,
                         requests=args.requests,
                         seed=args.base_seed,
+                        retries=retries,
+                        chaos=chaos,
                     ),
                 )
                 report["scenario"] = name
@@ -551,9 +579,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"loadtest: {args.clients} client(s) x {args.requests} requests "
             f"-> {counts['ok']} ok, {counts['shed']} shed, "
-            f"{counts['failed']} failed, {report['qps']:.1f} req/s "
+            f"{counts['failed']} failed, {counts.get('retried', 0)} retried, "
+            f"{report['qps']:.1f} req/s "
             f"over {report['elapsed_s']:.2f}s"
         )
+        chaos_record = report.get("chaos", {})
+        if chaos_record.get("fired"):
+            restarts = sum(
+                shard.get("restarts", 0)
+                for shard in report["stats"].get("shards", {}).values()
+            )
+            print(
+                f"chaos: killed {chaos_record.get('killed')}, "
+                f"{restarts:.0f} restart(s) recorded"
+            )
         payload = json.dumps(report, indent=2, sort_keys=True)
         if args.loadtest == "-":
             print(payload)

@@ -32,6 +32,7 @@ from repro.service.api import (
     ServiceFault,
     ServiceStats,
     ServiceUnavailableError,
+    ShardRestartingError,
     ShedError,
 )
 from repro.service.client import AsyncScoopClient, ScoopClient
@@ -45,7 +46,7 @@ from repro.service.loadtest import (
     drive_socket_load,
 )
 from repro.service.server import ScoopServer, serve_framed
-from repro.service.shard import ShardedGateway
+from repro.service.shard import BackoffPolicy, ShardedGateway
 
 # ServiceTicket / TenantService / AnswerCache are deliberately NOT
 # re-exported: they are gateway internals, and a test
@@ -54,6 +55,7 @@ from repro.service.shard import ShardedGateway
 __all__ = [
     "PROTOCOL_VERSION",
     "AsyncScoopClient",
+    "BackoffPolicy",
     "Deployment",
     "MalformedRequestError",
     "ProtocolError",
@@ -68,6 +70,7 @@ __all__ = [
     "ServiceLimits",
     "ServiceStats",
     "ServiceUnavailableError",
+    "ShardRestartingError",
     "ShardedGateway",
     "ShedError",
     "answers_digest",

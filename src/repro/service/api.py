@@ -20,7 +20,8 @@ Failure surfaces as *typed exceptions*, never as strings for callers to
 pattern-match: overload sheds raise :class:`ShedError`, client mistakes
 raise :class:`MalformedRequestError`, version skew raises
 :class:`ProtocolVersionError`, framing violations raise
-:class:`ProtocolError`. :func:`error_to_exception` /
+:class:`ProtocolError`, and a shard mid-respawn raises the *retryable*
+:class:`ShardRestartingError`. :func:`error_to_exception` /
 :func:`exception_to_error` map between exceptions and their wire form.
 """
 
@@ -97,6 +98,23 @@ class ServiceUnavailableError(ServiceFault):
     code = "unavailable"
 
 
+class ShardRestartingError(ServiceFault):
+    """The tenant's shard lost its worker and is coming back (respawn
+    in progress, or its tenants are being re-placed onto surviving
+    shards).
+
+    *Retryable*: unlike :class:`ServiceUnavailableError` this is a
+    transient condition — back off briefly and resend the same request.
+    :class:`~repro.service.client.ScoopClient` /
+    :class:`~repro.service.client.AsyncScoopClient` do exactly that,
+    with a capped exponential backoff, before surfacing the fault.
+    The wire code is additive (old clients degrade it to the base
+    :class:`ServiceFault`), so it needs no protocol version bump.
+    """
+
+    code = "retry"
+
+
 #: Wire code -> exception class (the inverse of each class's ``code``).
 _FAULTS: Dict[str, Type[ServiceFault]] = {
     exc.code: exc
@@ -106,6 +124,7 @@ _FAULTS: Dict[str, Type[ServiceFault]] = {
         ProtocolVersionError,
         ProtocolError,
         ServiceUnavailableError,
+        ShardRestartingError,
     )
 }
 
@@ -337,6 +356,12 @@ def aggregate_shard_stats(
     return {
         "tenants": float(len(tenant_stats)),
         "worker_pid": float(worker_pid),
+        # Supervision counters: 0 at the source; the parent-side
+        # supervisor overlays the real values (a worker cannot know how
+        # often it has been respawned).
+        "restarts": 0.0,
+        "replacements": 0.0,
+        "last_exit": 0.0,
         "requests_offered": offered,
         "requests_served": served,
         "requests_shed": shed,

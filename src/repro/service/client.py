@@ -8,6 +8,10 @@ exceptions of :mod:`repro.service.api`:
 
 * :class:`~repro.service.api.ShedError` — overload (admission-queue or
   socket-level credit shed); back off and retry.
+* :class:`~repro.service.api.ShardRestartingError` — the tenant's shard
+  lost its worker and is coming back; **handled internally**: both
+  clients retry the query with capped exponential backoff (``retries``
+  attempts) before surfacing the fault.
 * :class:`~repro.service.api.MalformedRequestError` — the request was
   wrong (unknown tenant, out-of-domain range); fix it, don't retry.
 * :class:`~repro.service.api.ProtocolVersionError` — client and server
@@ -34,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -44,6 +49,7 @@ from repro.service.api import (
     QueryRequest,
     ServiceError,
     ServiceStats,
+    ShardRestartingError,
     ShedError,
     error_to_exception,
 )
@@ -58,6 +64,20 @@ from repro.service.protocol import (
 
 #: Server-push METRICS frames kept per connection (older ones roll off).
 METRICS_BUFFER = 256
+
+#: Default retry policy against the ``retry`` wire code: attempts and
+#: the capped exponential backoff between them. Defaults cover one
+#: worker-respawn cycle (~sum of the gateway's backoff ladder); chaos
+#: load drivers raise ``retries`` to ride out slower reboots.
+DEFAULT_RETRIES = 8
+RETRY_BASE_S = 0.25
+RETRY_CAP_S = 2.0
+
+
+def _retry_delay(attempt: int, base_s: float, cap_s: float) -> float:
+    """Capped exponential backoff before 0-based retry ``attempt`` —
+    the client-side mirror of the supervisor's respawn schedule."""
+    return min(cap_s, base_s * (2.0**attempt))
 
 
 def _answer_or_raise(payload: Dict[str, object]) -> QueryAnswer:
@@ -88,6 +108,9 @@ class ScoopClient:
         metrics: bool = False,
         timeout: Optional[float] = 60.0,
         version: int = PROTOCOL_VERSION,
+        retries: int = DEFAULT_RETRIES,
+        retry_base_s: float = RETRY_BASE_S,
+        retry_cap_s: float = RETRY_CAP_S,
     ):
         self.host = host
         self.port = port
@@ -95,6 +118,12 @@ class ScoopClient:
         self.subscribe_metrics = metrics
         self.timeout = timeout
         self.version = version
+        self.retries = retries
+        self.retry_base_s = retry_base_s
+        self.retry_cap_s = retry_cap_s
+        #: total ``retry``-code resends this client performed (telemetry
+        #: for the chaos loadtest report).
+        self.retries_used = 0
         self.tenants: List[str] = []
         self.credits = 0
         self.workers = 0
@@ -182,14 +211,28 @@ class ScoopClient:
     ) -> QueryAnswer:
         """One range query; blocks for the answer. Raises the typed
         faults (:class:`ShedError`, :class:`MalformedRequestError`, ...)
-        instead of returning error strings."""
-        self._seq += 1
-        request = QueryRequest(
-            tenant=tenant, attr=attr, lo=lo, hi=hi, seq=self._seq
-        )
-        self._send(request_frame(request))
-        frame = self._wait(FrameType.RESPONSE, seq=request.seq)
-        return _answer_or_raise(frame.payload)
+        instead of returning error strings. The retryable ``retry`` code
+        (shard mid-respawn) is absorbed: the query is resent, with
+        capped backoff, up to ``retries`` times before the fault
+        surfaces."""
+        for attempt in range(self.retries + 1):
+            self._seq += 1
+            request = QueryRequest(
+                tenant=tenant, attr=attr, lo=lo, hi=hi, seq=self._seq
+            )
+            try:
+                self._send(request_frame(request))
+                frame = self._wait(FrameType.RESPONSE, seq=request.seq)
+            except ShardRestartingError:
+                if attempt >= self.retries:
+                    raise
+                self.retries_used += 1
+                time.sleep(
+                    _retry_delay(attempt, self.retry_base_s, self.retry_cap_s)
+                )
+                continue
+            return _answer_or_raise(frame.payload)
+        raise AssertionError("unreachable: retry loop always returns/raises")
 
     def stats(self) -> ServiceStats:
         self._seq += 1
@@ -221,12 +264,20 @@ class AsyncScoopClient:
         name: str = "scoop-client",
         metrics: bool = False,
         version: int = PROTOCOL_VERSION,
+        retries: int = DEFAULT_RETRIES,
+        retry_base_s: float = RETRY_BASE_S,
+        retry_cap_s: float = RETRY_CAP_S,
     ):
         self.host = host
         self.port = port
         self.name = name
         self.subscribe_metrics = metrics
         self.version = version
+        self.retries = retries
+        self.retry_base_s = retry_base_s
+        self.retry_cap_s = retry_cap_s
+        #: total ``retry``-code resends this client performed.
+        self.retries_used = 0
         self.tenants: List[str] = []
         self.credits = 0
         self.workers = 0
@@ -357,12 +408,26 @@ class AsyncScoopClient:
         lo: Optional[int] = None,
         hi: Optional[int] = None,
     ) -> QueryAnswer:
-        self._seq += 1
-        request = QueryRequest(
-            tenant=tenant, attr=attr, lo=lo, hi=hi, seq=self._seq
-        )
-        frame = await self._exchange(request_frame(request), request.seq)
-        return _answer_or_raise(frame.payload)
+        """One range query. Like the sync client, the retryable
+        ``retry`` code is absorbed with capped backoff before the fault
+        surfaces; other typed faults raise immediately."""
+        for attempt in range(self.retries + 1):
+            self._seq += 1
+            request = QueryRequest(
+                tenant=tenant, attr=attr, lo=lo, hi=hi, seq=self._seq
+            )
+            try:
+                frame = await self._exchange(request_frame(request), request.seq)
+            except ShardRestartingError:
+                if attempt >= self.retries:
+                    raise
+                self.retries_used += 1
+                await asyncio.sleep(
+                    _retry_delay(attempt, self.retry_base_s, self.retry_cap_s)
+                )
+                continue
+            return _answer_or_raise(frame.payload)
+        raise AssertionError("unreachable: retry loop always returns/raises")
 
     async def stats(self) -> ServiceStats:
         self._seq += 1

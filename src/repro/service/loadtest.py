@@ -40,7 +40,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentSpec
 from repro.service.api import aggregate_shard_stats
@@ -223,6 +223,8 @@ def drive_socket_load(
     seed: int = 1,
     domain: Optional[Tuple[int, int]] = None,
     keep_answers: bool = True,
+    retries: Optional[int] = None,
+    chaos: Optional[Callable[[], Optional[str]]] = None,
 ) -> Dict[str, object]:
     """Drive a running server from ``clients`` real concurrent TCP
     connections (one thread + one :class:`ScoopClient` each).
@@ -234,10 +236,19 @@ def drive_socket_load(
     bit-identical across worker counts. Sheds and malformed rejections
     are counted, never raised.
 
+    ``chaos`` is the fault-injection hook: a callable (e.g.
+    ``gateway.chaos_kill_worker``) fired exactly once, from a client
+    thread, after roughly a third of the offered load has settled —
+    mid-run, so in-flight and queued requests are on the wire when the
+    worker dies. ``retries`` overrides the clients' retry budget against
+    the resulting ``retry`` faults (chaos runs need enough to ride out a
+    worker reboot); the total resends land in ``counts["retried"]``.
+
     Returns a JSON-ready report: outcome counts, wall-clock throughput,
     the per-tenant answer transcripts (``keep_answers``) and their
-    :func:`answers_digest`, and the server's end-of-run stats (per-shard
-    scorecards + protocol counters).
+    :func:`answers_digest`, the server's end-of-run stats (per-shard
+    scorecards + protocol counters), and a ``chaos`` record of whether
+    (and which shard) the hook killed.
     """
     from repro.service.api import ServiceFault, ShedError
     from repro.service.client import ScoopClient
@@ -253,15 +264,36 @@ def drive_socket_load(
             domain = (first.lo, first.hi)
 
     answers: Dict[str, List[Dict[str, object]]] = {t: [] for t in tenants}
-    counts = {"ok": 0, "shed": 0, "malformed": 0, "failed": 0}
+    counts = {"ok": 0, "shed": 0, "malformed": 0, "failed": 0, "retried": 0}
     lock = threading.Lock()
     errors: List[str] = []
+    # Chaos trigger: fire once, mid-run, after ~1/3 of the offered load
+    # has settled (so there are in-flight requests to orphan).
+    chaos_threshold = max(1, (clients * requests) // 3)
+    chaos_fired = threading.Event()
+    chaos_killed: List[Optional[str]] = [None]
+
+    def maybe_chaos() -> None:
+        if chaos is None or chaos_fired.is_set():
+            return
+        with lock:
+            # Test-and-set under the counts lock: exactly one thread
+            # crosses the threshold holding the trigger.
+            if (
+                chaos_fired.is_set()
+                or counts["ok"] + counts["shed"] < chaos_threshold
+            ):
+                return
+            chaos_fired.set()
+        chaos_killed[0] = chaos()  # the kill itself runs outside the lock
 
     def one_client(index: int) -> None:
         tenant = tenants[index % len(tenants)]
         program = build_client_program(requests, domain, seed=seed + index)
+        kwargs = {} if retries is None else {"retries": retries}
+        client = ScoopClient(host, port, name=f"loadtest-{index}", **kwargs)
         try:
-            with ScoopClient(host, port, name=f"loadtest-{index}") as client:
+            with client:
                 for attr, lo, hi in program:
                     try:
                         answer = client.query(
@@ -270,14 +302,19 @@ def drive_socket_load(
                     except ShedError:
                         with lock:
                             counts["shed"] += 1
+                        maybe_chaos()
                         continue
                     with lock:
                         counts["ok"] += 1
                         answers[tenant].append(answer.to_jsonl_dict())
+                    maybe_chaos()
         except ServiceFault as exc:
             with lock:
                 counts["failed"] += 1
                 errors.append(f"client {index}: {exc.code}: {exc}")
+        finally:
+            with lock:
+                counts["retried"] += client.retries_used
 
     threads = [
         threading.Thread(target=one_client, args=(i,), name=f"loadtest-{i}")
@@ -305,6 +342,7 @@ def drive_socket_load(
         "qps": (counts["ok"] + counts["shed"]) / elapsed if elapsed > 0 else 0.0,
         "answers_digest": answers_digest(answers),
         "stats": stats.to_wire(),
+        "chaos": {"fired": chaos_fired.is_set(), "killed": chaos_killed[0]},
     }
     if keep_answers:
         report["answers"] = answers

@@ -89,6 +89,7 @@ class ScoopServer:
             "protocol_errors": 0.0,
             "sheds_socket": 0.0,
             "metrics_pushed": 0.0,
+            "retries_signalled": 0.0,
         }
 
     # ------------------------------------------------------------------
@@ -260,6 +261,10 @@ class ScoopServer:
         except ServiceFault as exc:
             if exc.seq == 0:
                 exc.seq = frame.seq
+            if exc.code == "retry":
+                # A shard mid-respawn told this client to come back;
+                # count the signal — the chaos gate asserts it fired.
+                self.counters["retries_signalled"] += 1
             payload = error_frame(exception_to_error(exc))
         except asyncio.CancelledError:
             raise

@@ -14,6 +14,13 @@ The contract under test, from ISSUE 8:
   :class:`MalformedRequestError`);
 * metrics subscribers receive per-shard scorecard pushes.
 
+ISSUE 10 adds the supervision contract (:class:`TestShardSupervision`):
+a worker killed at any point — before ready, mid-batch, mid-stats-probe
+— is respawned and the service keeps answering; with the respawn budget
+exhausted its tenants are re-placed onto survivors; in every case no
+request hangs (they fail typed and retryable) and no worker process
+outlives its gateway.
+
 The protocol-behavior tests run against the in-process
 :class:`QueryGateway` (same server, same frames, no process spawn); the
 determinism test boots real :class:`ShardedGateway` worker processes.
@@ -29,13 +36,35 @@ from repro.service.api import (
     PROTOCOL_VERSION,
     MalformedRequestError,
     ProtocolVersionError,
+    ServiceUnavailableError,
     ShedError,
 )
 from repro.service.client import AsyncScoopClient
 from repro.service.gateway import QueryGateway
 from repro.service.loadtest import drive_socket_load
 from repro.service.server import serve_framed
-from repro.service.shard import ShardedGateway
+from repro.service.shard import BackoffPolicy, ShardedGateway
+
+
+def assert_no_zombies(gateway: ShardedGateway) -> None:
+    """After close(), no worker may survive (the kill-fallback bug):
+    every process is dead *and* reaped (exitcode set = waited on)."""
+    for shard in gateway._shards.values():
+        process = shard.process
+        if process is None:
+            continue
+        assert not process.is_alive(), f"{shard.name} worker outlived close()"
+        assert process.exitcode is not None, f"{shard.name} worker not reaped"
+
+
+async def poll_until(predicate, timeout: float = 30.0, interval: float = 0.05):
+    """Await ``predicate()`` turning truthy; fail loudly on timeout."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        assert (
+            asyncio.get_running_loop().time() < deadline
+        ), f"condition not reached within {timeout}s"
+        await asyncio.sleep(interval)
 
 
 def tiny_spec(seed: int = 3) -> ExperimentSpec:
@@ -204,6 +233,7 @@ class TestShardedGateway:
             finally:
                 await server.close()
                 await gateway.close()
+                assert_no_zombies(gateway)
 
         asyncio.run(program())
 
@@ -231,6 +261,7 @@ class TestShardedGateway:
             finally:
                 await server.close()
                 await gateway.close()
+                assert_no_zombies(gateway)
             return report
 
         report1 = asyncio.run(serve_and_drive(1))
@@ -252,3 +283,184 @@ class TestShardedGateway:
         # The tentpole invariant: identical transcripts, hence digests.
         assert report1["answers"] == report4["answers"]
         assert report1["answers_digest"] == report4["answers_digest"]
+
+
+class TestShardSupervision:
+    """The death/recovery matrix: real workers, really killed."""
+
+    def test_kill_before_ready_respawns(self):
+        """A worker killed while still booting is respawned: the
+        readiness barrier eventually opens and the shard serves."""
+
+        async def program():
+            gateway = ShardedGateway(
+                tiny_spec(),
+                tenants=2,
+                workers=2,
+                backoff=BackoffPolicy(base_s=0.05, cap_s=0.2, budget=3),
+            )
+            await gateway.start()
+            try:
+                assert not gateway.ready.is_set()
+                gateway._shards["shard0"].process.kill()
+                await gateway.wait_ready(timeout=60.0)
+                answer = await gateway.answer(
+                    _request(gateway, "tenant0", seq=1)
+                )
+                assert answer.ok and answer.shard == "shard0"
+                stats = await gateway.service_stats()
+                assert stats.shards["shard0"]["restarts"] >= 1
+                assert stats.shards["shard0"]["last_exit"] == -9
+                assert stats.shards["shard1"]["restarts"] == 0
+            finally:
+                await gateway.close()
+                assert_no_zombies(gateway)
+
+        asyncio.run(program())
+
+    def test_kill_mid_batch_clients_retry_to_success(self):
+        """Kill a worker while concurrent client queries are on the
+        wire, over a real socket: every in-flight and queued request is
+        failed retryable (nothing hangs), the clients' retry policy
+        resends, and all of them ultimately succeed."""
+
+        async def program():
+            gateway = ShardedGateway(
+                tiny_spec(),
+                tenants=2,
+                workers=2,
+                # batch_delay holds the lockstep batch open long enough
+                # that the kill below reliably lands mid-batch.
+                batch_delay=0.3,
+                backoff=BackoffPolicy(base_s=0.05, cap_s=0.5, budget=3),
+            )
+            await gateway.start()
+            server = await serve_framed(gateway)
+            try:
+                async with AsyncScoopClient(
+                    port=server.port, retries=30
+                ) as client:
+                    half = asyncio.gather(
+                        *(client.query(tenant="tenant0", lo=0, hi=80)
+                          for _ in range(8))
+                    )
+                    # Kill while the batch is still being assembled:
+                    # those 8 requests are in flight, none answered.
+                    await asyncio.sleep(0.1)
+                    killed = gateway.chaos_kill_worker("shard0")
+                    assert killed == "shard0"
+                    answers = await asyncio.wait_for(half, timeout=120.0)
+                    assert len(answers) == 8
+                    assert all(a.tenant == "tenant0" for a in answers)
+                    assert client.retries_used >= 1
+                    stats = await client.stats()
+                    assert stats.shards["shard0"]["restarts"] >= 1
+                    assert stats.protocol["retries_signalled"] >= 1
+            finally:
+                await server.close()
+                await gateway.close()
+                assert_no_zombies(gateway)
+
+        asyncio.run(program())
+
+    def test_kill_during_stats_probe_does_not_raise(self):
+        """A stats probe racing a worker death falls back to the cached
+        scorecard (with supervision counters) instead of raising."""
+
+        async def program():
+            gateway = ShardedGateway(
+                tiny_spec(),
+                tenants=2,
+                workers=2,
+                backoff=BackoffPolicy(base_s=0.05, cap_s=0.2, budget=3),
+            )
+            await gateway.start()
+            try:
+                await gateway.wait_ready(timeout=60.0)
+                # Prime the cached scorecards, then race kills against
+                # probes: none may raise, every report covers the fleet.
+                await gateway.service_stats()
+                gateway.chaos_kill_worker("shard0")
+                for _ in range(5):
+                    stats = await gateway.service_stats()
+                    assert set(stats.shards) == {"shard0", "shard1"}
+                    assert "restarts" in stats.shards["shard0"]
+                    await asyncio.sleep(0.05)
+                await poll_until(
+                    lambda: gateway.shard_states()["shard0"] == "ready"
+                )
+                stats = await gateway.service_stats()
+                assert stats.shards["shard0"]["restarts"] >= 1
+            finally:
+                await gateway.close()
+                assert_no_zombies(gateway)
+
+        asyncio.run(program())
+
+    def test_budget_exhausted_replaces_tenants_onto_survivor(self):
+        """With a zero respawn budget, a worker death re-places the dead
+        shard's tenants onto the survivor: the routing table flips, the
+        tenant keeps answering (from the other shard), and the
+        supervision counters record the whole story."""
+
+        async def program():
+            gateway = ShardedGateway(
+                tiny_spec(),
+                tenants=2,
+                workers=2,
+                backoff=BackoffPolicy(base_s=0.05, cap_s=0.2, budget=0),
+            )
+            await gateway.start()
+            try:
+                await gateway.wait_ready(timeout=60.0)
+                before = await gateway.answer(
+                    _request(gateway, "tenant0", seq=1)
+                )
+                assert before.shard == "shard0"
+                assert gateway.chaos_kill_worker("shard0") == "shard0"
+                await poll_until(
+                    lambda: gateway.shard_states()["shard0"] == "replaced"
+                )
+                assert gateway.shard_of("tenant0") == "shard1"
+                after = await gateway.answer(
+                    _request(gateway, "tenant0", seq=2)
+                )
+                assert after.ok and after.shard == "shard1"
+                # The survivor still serves its own tenant too.
+                own = await gateway.answer(_request(gateway, "tenant1", seq=3))
+                assert own.ok and own.shard == "shard1"
+                stats = await gateway.service_stats()
+                assert stats.shards["shard0"]["restarts"] == 0
+                assert stats.shards["shard0"]["last_exit"] == -9
+                assert stats.shards["shard1"]["replacements"] == 1
+                # Both tenants report through the adopting shard now.
+                assert set(stats.tenants) == {"tenant0", "tenant1"}
+            finally:
+                await gateway.close()
+                assert_no_zombies(gateway)
+
+        asyncio.run(program())
+
+    def test_wait_ready_timeout_is_typed(self):
+        """The readiness timeout surfaces as ServiceUnavailableError,
+        not a bare asyncio.TimeoutError leaking through the ladder."""
+
+        async def program():
+            gateway = ShardedGateway(tiny_spec(), tenants=1, workers=1)
+            await gateway.start()
+            try:
+                with pytest.raises(ServiceUnavailableError, match="not ready"):
+                    await gateway.wait_ready(timeout=0.001)
+                # The boot itself is unharmed: it completes afterwards.
+                await gateway.wait_ready(timeout=60.0)
+            finally:
+                await gateway.close()
+                assert_no_zombies(gateway)
+
+        asyncio.run(program())
+
+
+def _request(gateway: ShardedGateway, tenant: str, seq: int):
+    from repro.service.api import QueryRequest
+
+    return QueryRequest(tenant=tenant, attr=0, lo=0, hi=100, seq=seq)

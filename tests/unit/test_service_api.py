@@ -20,6 +20,7 @@ from repro.service.api import (
     ServiceFault,
     ServiceStats,
     ServiceUnavailableError,
+    ShardRestartingError,
     ShedError,
     aggregate_shard_stats,
     decode_jsonl_request,
@@ -123,6 +124,7 @@ class TestFaultMapping:
             (ProtocolVersionError, "version"),
             (ProtocolError, "protocol"),
             (ServiceUnavailableError, "unavailable"),
+            (ShardRestartingError, "retry"),
         ],
     )
     def test_round_trip(self, exc_type, code):
